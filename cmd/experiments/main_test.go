@@ -1,0 +1,51 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T, exp string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := run(exp)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return <-done
+}
+
+func TestRunSimilarityExperiment(t *testing.T) {
+	out := captureRun(t, "similarity")
+	if !strings.Contains(out, "email address") || !strings.Contains(out, "Cosine") {
+		t.Errorf("similarity output:\n%s", out)
+	}
+}
+
+func TestRunVerdictsExperiment(t *testing.T) {
+	out := captureRun(t, "verdicts")
+	if !strings.Contains(out, "VALID") || strings.Contains(out, "MISMATCH") {
+		t.Errorf("verdicts output:\n%s", out)
+	}
+}
+
+func TestRunTable2Experiment(t *testing.T) {
+	out := captureRun(t, "table2")
+	if !strings.Contains(out, "[user]-provide->[age]") {
+		t.Errorf("table2 output:\n%s", out)
+	}
+}

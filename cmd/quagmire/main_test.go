@@ -1,0 +1,233 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func writePolicy(t *testing.T, text string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "policy.txt")
+	if err := os.WriteFile(p, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAnalyzeSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error { return run([]string{"analyze", p}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"company:", "Acme", "total edges:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEdgesSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error { return run([]string{"edges", p}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "]-") || !strings.Contains(out, "->[") {
+		t.Errorf("edges output:\n%s", out)
+	}
+}
+
+func TestAskSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error {
+		return run([]string{"ask", p, "Does Acme sell my personal information?"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verdict: INVALID") {
+		t.Errorf("ask output:\n%s", out)
+	}
+}
+
+func TestDiffSubcommand(t *testing.T) {
+	p1 := writePolicy(t, corpus.Mini())
+	p2 := writePolicy(t, strings.Replace(corpus.Mini(), "device identifiers", "browsing history", 1))
+	out, err := capture(t, func() error { return run([]string{"diff", p1, p2}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "added: 1") || !strings.Contains(out, "removed: 1") {
+		t.Errorf("diff output:\n%s", out)
+	}
+}
+
+func TestSolveSubcommand(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "q.smt2")
+	script := "(declare-fun p () Bool)\n(assert p)\n(assert (not p))\n(check-sat)\n"
+	if err := os.WriteFile(f, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"solve", f}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "unsat") {
+		t.Errorf("solve output: %q", out)
+	}
+}
+
+func TestVagueSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error { return run([]string{"vague", p}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "business purpose") {
+		t.Errorf("vague output:\n%s", out)
+	}
+}
+
+func TestCorpusSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"corpus", "mini"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Acme Privacy Policy") {
+		t.Errorf("corpus output:\n%s", out[:80])
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"analyze"},
+		{"analyze", "/nonexistent/file"},
+		{"ask", "onlyonearg"},
+		{"diff", "one"},
+		{"solve"},
+		{"corpus", "bogus"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestReportSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error { return run([]string{"report", p}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# Privacy Policy Audit — Acme") {
+		t.Errorf("report output:\n%s", out[:120])
+	}
+}
+
+func TestCheckSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	suite := filepath.Join(t.TempDir(), "suite.txt")
+	content := "EXPECT VALID: Does Acme collect my device identifiers?\nEXPECT INVALID: Does Acme sell my personal information?\n"
+	if err := os.WriteFile(suite, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"check", p, suite}) })
+	if err != nil {
+		t.Fatalf("check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "2 passed, 0 failed") {
+		t.Errorf("check output:\n%s", out)
+	}
+	// A failing suite exits with error.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("EXPECT VALID: Does Acme sell my personal information?\n"), 0o644)
+	if _, err := capture(t, func() error { return run([]string{"check", p, bad}) }); err == nil {
+		t.Error("failing suite should return error")
+	}
+}
+
+func TestDotSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error { return run([]string{"dot", p, "data"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Errorf("dot output:\n%s", out[:100])
+	}
+	if _, err := capture(t, func() error { return run([]string{"dot", p, "bogus"}) }); err == nil {
+		t.Error("bogus dot kind should fail")
+	}
+}
+
+func TestHTMLPolicyIngestion(t *testing.T) {
+	html := `<html><body><h1>Acme Privacy Policy</h1>
+<p>This Privacy Policy describes how Acme ("we") handles data.</p>
+<p>We collect your email address.</p></body></html>`
+	p := filepath.Join(t.TempDir(), "policy.html")
+	if err := os.WriteFile(p, []byte(html), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"analyze", p}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Acme") || !strings.Contains(out, "total edges:") {
+		t.Errorf("HTML analyze output:\n%s", out)
+	}
+}
+
+func TestExploreSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error {
+		return run([]string{"explore", p, "Does Acme share my usage data with service providers?"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "VALID") || !strings.Contains(out, "always valid: false") {
+		t.Errorf("explore output:\n%s", out)
+	}
+}
+
+func TestExplainSubcommand(t *testing.T) {
+	p := writePolicy(t, corpus.Mini())
+	out, err := capture(t, func() error {
+		return run([]string{"explain", p, "Does Acme collect my device identifiers?"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verdict: VALID") || !strings.Contains(out, "evidence:") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}

@@ -1,0 +1,133 @@
+// Command quagmired serves the pipeline as a JSON HTTP API (see
+// internal/server for the endpoint reference). It shuts down gracefully on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	quagmired -addr :8080 [-cache DIR] [-max-instantiations N] [-preload]
+//
+// With -preload the bundled TikTak and MetaBook corpora are analyzed and
+// registered at startup, so the API is immediately explorable:
+//
+//	curl localhost:8080/v1/policies
+//	curl -X POST localhost:8080/v1/policies/p1/query \
+//	     -d '{"question":"Does TikTak collect my phone number?"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/server"
+	"github.com/privacy-quagmire/quagmire/internal/smt"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache", "", "directory for persisted intermediates")
+	maxInst := flag.Int("max-instantiations", 0, "SMT quantifier-instantiation budget (0 = default)")
+	preload := flag.Bool("preload", false, "analyze and register the bundled corpora at startup")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "quagmired ", log.LstdFlags)
+	if err := run(*addr, *cacheDir, *maxInst, *preload, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(addr, cacheDir string, maxInst int, preload bool, logger *log.Logger) error {
+	pipeline, err := core.New(core.Options{
+		CacheDir: cacheDir,
+		Limits:   smt.Limits{MaxInstantiations: maxInst},
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Options{
+		Pipeline:     pipeline,
+		SolverLimits: smt.Limits{MaxInstantiations: maxInst},
+		Logger:       logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	if preload {
+		go preloadCorpora(addr, logger)
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		logger.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errCh
+	}
+}
+
+// preloadCorpora registers the bundled policies through the public API once
+// the listener is up, exercising the same code path as external clients.
+func preloadCorpora(addr string, logger *log.Logger) {
+	base := "http://" + addr
+	if addr[0] == ':' {
+		base = "http://localhost" + addr
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	// Wait for readiness.
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for _, pol := range []struct{ name, text string }{
+		{"TikTak", corpus.TikTak()},
+		{"MetaBook", corpus.MetaBook()},
+	} {
+		body := fmt.Sprintf(`{"name":%q,"text":%q}`, pol.name, pol.text)
+		resp, err := client.Post(base+"/v1/policies", "application/json", strings.NewReader(body))
+		if err != nil {
+			logger.Printf("preload %s failed: %v", pol.name, err)
+			continue
+		}
+		resp.Body.Close()
+		logger.Printf("preloaded %s (%d)", pol.name, resp.StatusCode)
+	}
+}

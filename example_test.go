@@ -1,0 +1,65 @@
+package quagmire_test
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/privacy-quagmire/quagmire"
+)
+
+const examplePolicy = `# Acme Privacy Policy
+
+This Privacy Policy describes how Acme ("we", "us", or "our") handles your information.
+
+## Collection
+
+We collect your email address.
+
+## Sharing
+
+We share usage data with service providers for legitimate business purposes.
+
+We do not sell your personal information.
+`
+
+// ExampleAnalyzer_Analyze shows the core workflow: analyze a policy, read
+// its statistics and edges.
+func ExampleAnalyzer_Analyze() {
+	an, _ := quagmire.New(quagmire.Config{})
+	a, _ := an.Analyze(context.Background(), examplePolicy)
+	st := a.Stats()
+	fmt.Println(a.Company(), "edges:", st.Edges)
+	fmt.Println(a.Edges()[0])
+	// Output:
+	// Acme edges: 3
+	// [Acme]-collect->[email address]
+}
+
+// ExampleAnalysis_Ask shows three-valued query verification with vague
+// conditions surfaced as placeholders.
+func ExampleAnalysis_Ask() {
+	an, _ := quagmire.New(quagmire.Config{})
+	a, _ := an.Analyze(context.Background(), examplePolicy)
+
+	res, _ := a.Ask(context.Background(), "Does Acme sell my personal information?")
+	fmt.Println("sell:", res.Verdict)
+
+	res, _ = a.Ask(context.Background(), "Does Acme share my usage data with service providers?")
+	fmt.Println("share:", res.Verdict, res.ConditionalOn)
+	// Output:
+	// sell: INVALID
+	// share: VALID [cond_legitimate_business_purposes]
+}
+
+// ExampleAnalysis_VagueConditions shows the ambiguity the pipeline
+// preserves for human review.
+func ExampleAnalysis_VagueConditions() {
+	an, _ := quagmire.New(quagmire.Config{})
+	a, _ := an.Analyze(context.Background(), examplePolicy)
+	for _, v := range a.VagueConditions() {
+		fmt.Println(v)
+	}
+	// Output:
+	// legitimate business purpose
+	// business purpose
+}

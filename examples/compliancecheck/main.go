@@ -1,0 +1,61 @@
+// Compliance check: the engineer scenario from §5 — run a battery of
+// compliance queries against a policy, show the three-valued verdicts,
+// the vocabulary translations the embedding search performed, and the
+// generated SMT-LIB artifact for one query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+)
+
+func main() {
+	ctx := context.Background()
+
+	an, err := quagmire.New(quagmire.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := an.Analyze(ctx, corpus.Mini())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		"Does Acme share my e-mail addresses with advertising partners?",
+		"Does Acme share my usage data with service providers?",
+		"Does Acme sell my personal information?",
+		"Does Acme share my medical records with insurance companies?",
+		"Does Acme collect my device identifiers?",
+	}
+
+	for _, q := range queries {
+		res, err := a.Ask(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %s\n", res.Verdict, q)
+		for from, to := range res.Translations {
+			if from != to {
+				fmt.Printf("         translated %q -> %q\n", from, to)
+			}
+		}
+		if len(res.ConditionalOn) > 0 {
+			fmt.Printf("         valid only if: %s\n", strings.Join(res.ConditionalOn, ", "))
+		}
+	}
+
+	// Dump the SMT-LIB artifact for the first query: the exact formal
+	// object handed to the solver, with ambiguity placeholders visible.
+	res, err := a.Ask(ctx, queries[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngenerated SMT-LIB for query 2:")
+	fmt.Println(res.Script)
+}

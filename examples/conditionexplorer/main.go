@@ -1,0 +1,63 @@
+// Condition explorer: the lawyer/engineer collaboration scenario — for a
+// query whose verdict hinges on vague legal terms, enumerate every
+// interpretation of the placeholders with check-sat-assuming (the paper's
+// proposed incremental-solving future work) and show exactly which
+// readings of "legitimate business purposes" etc. make the practice
+// permissible.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+)
+
+func main() {
+	ctx := context.Background()
+	p, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := p.Analyze(ctx, corpus.Mini())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := llm.ParamSet{
+		Sender: "Acme", Action: "share", DataType: "usage data",
+		Receiver: "service provider",
+	}
+	fmt.Println("query: does Acme share usage data with service providers?")
+
+	// The plain verdict hides the interpretation dependence…
+	res, err := a.Engine.AskParams(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-shot verdict: %s (conditional on %v)\n\n", res.Verdict, res.ConditionalOn)
+
+	// …the exploration makes it explicit, scenario by scenario.
+	exp, err := a.Engine.ExploreConditions(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d interpretations of %d vague condition(s):\n\n",
+		len(exp.Scenarios), len(exp.Placeholders))
+	for _, sc := range exp.Scenarios {
+		var parts []string
+		for _, ph := range exp.Placeholders {
+			parts = append(parts, fmt.Sprintf("%s=%v", strings.TrimPrefix(ph, "cond_"), sc.Assumptions[ph]))
+		}
+		sort.Strings(parts)
+		fmt.Printf("  %-8s when %s\n", sc.Verdict, strings.Join(parts, ", "))
+	}
+	fmt.Printf("\nalways valid: %v   never valid: %v\n", exp.AlwaysValid, exp.NeverValid)
+	fmt.Println("\nThis is the paper's point: the formal answer is only as settled as")
+	fmt.Println("the human interpretation of the vague terms it depends on.")
+}

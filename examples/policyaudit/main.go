@@ -1,0 +1,80 @@
+// Policy audit: the legal-team scenario from §5 — run full extraction over
+// the large TikTak policy, report the Table 1 statistics, surface the vague
+// conditions that need human interpretation, and run the PolicyLint-style
+// contradiction pass classifying apparent conflicts into coherent exception
+// patterns vs genuine conflicts.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/privacy-quagmire/quagmire/internal/baseline"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/extract"
+	"github.com/privacy-quagmire/quagmire/internal/kg"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/taxonomy"
+)
+
+func main() {
+	ctx := context.Background()
+	client := llm.NewCachingClient(llm.NewSim())
+
+	// Phase 1 over the ~15k-word policy.
+	ext := extract.New(client)
+	ex, err := ext.ExtractPolicy(ctx, corpus.TikTak())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("company: %s — %d segments, %d practices (%d extraction errors)\n",
+		ex.Company, len(ex.Segments), len(ex.Practices), ext.Stats.Errors)
+
+	// Phase 2.
+	builder := kg.NewBuilder(&taxonomy.Builder{Client: client})
+	k, err := builder.Build(ctx, ex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := k.Stats()
+	fmt.Printf("knowledge graph: %d nodes, %d edges, %d entities, %d data types\n\n",
+		st.Nodes, st.Edges, st.Entities, st.DataTypes)
+
+	// Vague terms the lawyers must interpret (Challenge 1).
+	vague := map[string]int{}
+	for _, p := range ex.Practices {
+		for _, v := range p.VagueTerms {
+			vague[v]++
+		}
+	}
+	fmt.Println("vague conditions (occurrences):")
+	for v, n := range vague {
+		fmt.Printf("  %-40s %d\n", v, n)
+	}
+
+	// PolicyLint-style contradiction pass (Challenge 3).
+	rep := baseline.Lint(ex.Practices)
+	fmt.Printf("\napparent contradictions: %d (exceptions: %d, genuine: %d)\n",
+		len(rep.Apparent), rep.Exceptions, rep.Genuine)
+	for i, c := range rep.Apparent {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(rep.Apparent)-5)
+			break
+		}
+		kind := "GENUINE CONFLICT"
+		if c.ExceptionPattern {
+			kind = "coherent exception"
+		}
+		fmt.Printf("  [%s] allow(%s %s | cond %q) vs deny(%s %s | cond %q)\n",
+			kind, c.Allow.Action, c.Allow.DataType, c.Allow.Condition,
+			c.Deny.Action, c.Deny.DataType, c.Deny.Condition)
+	}
+
+	// Hierarchy spot check: what does the data taxonomy say about email?
+	fmt.Println("\ndata hierarchy path for \"email address\":")
+	path := append([]string{"email address"}, k.DataH.Ancestors("email address")...)
+	for i, t := range path {
+		fmt.Printf("  %*s%s\n", 2*i, "", t)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: analyze a small privacy policy, print its extraction
+// statistics and data-practice edges, and verify one compliance query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+)
+
+func main() {
+	ctx := context.Background()
+
+	an, err := quagmire.New(quagmire.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1 + 2: extract data practices and build the knowledge graph.
+	a, err := an.Analyze(ctx, corpus.Mini())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := a.Stats()
+	fmt.Printf("policy:      %s\n", a.Company())
+	fmt.Printf("nodes=%d edges=%d entities=%d data types=%d\n\n",
+		st.Nodes, st.Edges, st.Entities, st.DataTypes)
+
+	fmt.Println("extracted data-practice edges:")
+	for _, e := range a.Edges() {
+		fmt.Println(" ", e)
+	}
+
+	fmt.Println("\nvague conditions preserved for human review:")
+	for _, v := range a.VagueConditions() {
+		fmt.Println(" ", v)
+	}
+
+	// Phase 3: verify a compliance query via FOL + SMT.
+	q := "Does Acme share my email address with advertising partners?"
+	res, err := a.Ask(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery:   %s\nverdict: %s\n", q, res.Verdict)
+	if len(res.Placeholders) > 0 {
+		fmt.Printf("depends on uninterpreted terms: %s\n", strings.Join(res.Placeholders, ", "))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/privacy-quagmire/quagmire
+
+go 1.22

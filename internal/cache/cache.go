@@ -1,0 +1,118 @@
+// Package cache persists pipeline intermediates (segments, extractions,
+// graphs) as JSON files with atomic writes, enabling the paper's
+// incremental processing and stage-by-stage inspection ("all intermediate
+// representations are stored ... this allows inspection of each pipeline
+// stage").
+package cache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a JSON-file-backed key/value store rooted at a directory.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("cache: not found")
+
+// path maps a key to a file path, rejecting traversal.
+func (s *Store) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\") || strings.Contains(key, "..") {
+		return "", fmt.Errorf("cache: invalid key %q", key)
+	}
+	return filepath.Join(s.dir, key+".json"), nil
+}
+
+// Save marshals v as JSON and writes it atomically under key.
+func (s *Store) Save(key string, v any) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cache: marshal %q: %w", key, err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("cache: write %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: commit %q: %w", key, err)
+	}
+	return nil
+}
+
+// Load unmarshals the JSON stored under key into v.
+func (s *Store) Load(key string, v any) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return fmt.Errorf("cache: read %q: %w", key, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("cache: decode %q: %w", key, err)
+	}
+	return nil
+}
+
+// Has reports whether key exists.
+func (s *Store) Has(key string) bool {
+	p, err := s.path(key)
+	if err != nil {
+		return false
+	}
+	_, statErr := os.Stat(p)
+	return statErr == nil
+}
+
+// Delete removes key; deleting a missing key is not an error.
+func (s *Store) Delete(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cache: delete %q: %w", key, err)
+	}
+	return nil
+}
+
+// Keys lists stored keys, sorted by filename order.
+func (s *Store) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".json") {
+			out = append(out, strings.TrimSuffix(name, ".json"))
+		}
+	}
+	return out, nil
+}

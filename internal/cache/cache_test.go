@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+type payload struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestSaveLoad(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "tiktak", Count: 3}
+	if err := s.Save("extraction", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := s.Load("extraction", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	var out payload
+	if err := s.Load("nope", &out); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHasDelete(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Save("k", payload{})
+	if !s.Has("k") {
+		t.Error("Has after Save = false")
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("k") {
+		t.Error("Has after Delete = true")
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Error("double delete should be nil:", err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Save("b", payload{})
+	s.Save("a", payload{})
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	for _, k := range []string{"", "a/b", "..", "x\\y"} {
+		if err := s.Save(k, payload{}); err == nil {
+			t.Errorf("Save(%q) should fail", k)
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Save("k", payload{Count: 1})
+	s.Save("k", payload{Count: 2})
+	var out payload
+	s.Load("k", &out)
+	if out.Count != 2 {
+		t.Errorf("overwrite failed: %+v", out)
+	}
+}
+
+func TestLoadCorruptedJSON(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	if err := os.WriteFile(dir+"/bad.json", []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := s.Load("bad", &out); err == nil {
+		t.Error("corrupted JSON should fail to load")
+	}
+}
+
+func TestSaveUnmarshalableValue(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Save("chan", make(chan int)); err == nil {
+		t.Error("unmarshalable value should fail to save")
+	}
+}
+
+func TestOpenCreatesNestedDir(t *testing.T) {
+	dir := t.TempDir() + "/a/b/c"
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Error("directory not created")
+	}
+}

@@ -1,0 +1,109 @@
+package compare
+
+import (
+	"context"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/embed"
+	"github.com/privacy-quagmire/quagmire/internal/kg"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+)
+
+func analyze(t *testing.T, text string) *kg.KnowledgeGraph {
+	t.Helper()
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.KG
+}
+
+const policyA = `# AlphaCo Privacy Policy
+
+AlphaCo ("we") explains.
+
+## Practices
+
+We collect your email address.
+
+We collect your gps location.
+
+We share your browsing history with advertising partners.`
+
+const policyB = `# BetaCo Privacy Policy
+
+BetaCo ("we") explains.
+
+## Practices
+
+We collect your email address.
+
+We gather your location information.
+
+We collect your voiceprints.`
+
+func TestCompareGaps(t *testing.T) {
+	c := &Comparer{Model: embed.NewModel("text-embedding-sim"), Client: llm.NewSim()}
+	rep := c.Compare(analyze(t, policyA), analyze(t, policyB))
+	if rep.CompanyA != "AlphaCo" || rep.CompanyB != "BetaCo" {
+		t.Fatalf("companies: %s/%s", rep.CompanyA, rep.CompanyB)
+	}
+	// Shared: email (exact) and location (cross-vocabulary: "gps
+	// location" ~ "location information", collect ~ gather).
+	if rep.Shared < 2 {
+		t.Errorf("shared = %d (onlyA=%v onlyB=%v)", rep.Shared, rep.OnlyA, rep.OnlyB)
+	}
+	// Gaps: A shares browsing history; B collects voiceprints.
+	foundShare, foundVoice := false, false
+	for _, g := range rep.OnlyA {
+		if g.Action == "share" && g.DataType == "browsing history" {
+			foundShare = true
+		}
+		if g.DataType == "gps location" {
+			t.Errorf("gps location should have matched location information: %+v", rep.OnlyA)
+		}
+	}
+	for _, g := range rep.OnlyB {
+		if g.DataType == "voiceprint" {
+			foundVoice = true
+		}
+	}
+	if !foundShare {
+		t.Errorf("browsing-history share gap missing: %+v", rep.OnlyA)
+	}
+	if !foundVoice {
+		t.Errorf("voiceprint gap missing: %+v", rep.OnlyB)
+	}
+}
+
+func TestCompareSelfIsGapless(t *testing.T) {
+	c := &Comparer{Model: embed.NewModel("text-embedding-sim"), Client: llm.NewSim()}
+	k := analyze(t, policyA)
+	rep := c.Compare(k, k)
+	if len(rep.OnlyA) != 0 || len(rep.OnlyB) != 0 {
+		t.Errorf("self comparison has gaps: %+v / %+v", rep.OnlyA, rep.OnlyB)
+	}
+	if rep.Shared == 0 {
+		t.Error("self comparison shares nothing")
+	}
+}
+
+func TestCompareDenyExcluded(t *testing.T) {
+	const withDeny = `# GammaCo Privacy Policy
+
+GammaCo ("we") explains.
+
+We do not sell your email address.`
+	c := &Comparer{Model: embed.NewModel("text-embedding-sim"), Client: llm.NewSim()}
+	rep := c.Compare(analyze(t, withDeny), analyze(t, policyB))
+	for _, g := range rep.OnlyA {
+		if g.Action == "share" && g.DataType == "email address" {
+			t.Errorf("denied practice counted as disclosure: %+v", g)
+		}
+	}
+}

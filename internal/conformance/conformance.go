@@ -1,0 +1,143 @@
+// Package conformance runs compliance test suites against a policy: a
+// plain-text format in which each line pins the expected verdict of one
+// natural-language query. This is the §5 engineer/company workflow —
+// "companies test their privacy policies against specific scenarios to
+// ensure consistency" — expressed as a repeatable, CI-runnable artifact.
+//
+// Suite format (one directive per line; # starts a comment):
+//
+//	EXPECT VALID:   Does Acme collect my device identifiers?
+//	EXPECT INVALID: Does Acme sell my personal information?
+//	EXPECT UNKNOWN: <a query that should exhaust the solver budget>
+package conformance
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+// Case is one suite entry.
+type Case struct {
+	// Line is the 1-based source line, for error reporting.
+	Line int
+	// Want is the expected verdict.
+	Want query.Verdict
+	// Question is the natural-language query.
+	Question string
+}
+
+// ParseSuite reads a suite from r. Malformed directives are errors with
+// line information.
+func ParseSuite(r io.Reader) ([]Case, error) {
+	var cases []Case
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rest, ok := strings.CutPrefix(text, "EXPECT ")
+		if !ok {
+			return nil, fmt.Errorf("conformance: line %d: expected \"EXPECT <VERDICT>: <question>\", got %q", line, text)
+		}
+		verdictStr, question, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("conformance: line %d: missing ':' after verdict", line)
+		}
+		var want query.Verdict
+		switch strings.TrimSpace(verdictStr) {
+		case "VALID":
+			want = query.Valid
+		case "INVALID":
+			want = query.Invalid
+		case "UNKNOWN":
+			want = query.Unknown
+		default:
+			return nil, fmt.Errorf("conformance: line %d: unknown verdict %q", line, verdictStr)
+		}
+		question = strings.TrimSpace(question)
+		if question == "" {
+			return nil, fmt.Errorf("conformance: line %d: empty question", line)
+		}
+		cases = append(cases, Case{Line: line, Want: want, Question: question})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cases, nil
+}
+
+// Outcome is the result of one case.
+type Outcome struct {
+	Case Case
+	// Got is the verdict the engine produced.
+	Got query.Verdict
+	// ConditionalOn is non-empty for conditionally valid results.
+	ConditionalOn []string
+	// Err holds per-case engine failures.
+	Err error
+}
+
+// Pass reports whether the case matched.
+func (o Outcome) Pass() bool { return o.Err == nil && o.Got == o.Case.Want }
+
+// Result summarizes a suite run.
+type Result struct {
+	// Outcomes holds one entry per case, in suite order.
+	Outcomes []Outcome
+	// Passed and Failed count outcomes.
+	Passed, Failed int
+}
+
+// Run executes the suite against a query engine.
+func Run(ctx context.Context, eng *query.Engine, cases []Case) (*Result, error) {
+	res := &Result{}
+	for _, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		qr, err := eng.Ask(ctx, c.Question)
+		o := Outcome{Case: c, Err: err}
+		if err == nil {
+			o.Got = qr.Verdict
+			o.ConditionalOn = qr.ConditionalOn
+		}
+		if o.Pass() {
+			res.Passed++
+		} else {
+			res.Failed++
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	return res, nil
+}
+
+// Render prints the run in a go-test-like format.
+func Render(r *Result) string {
+	var b strings.Builder
+	for _, o := range r.Outcomes {
+		status := "PASS"
+		detail := string(o.Got)
+		switch {
+		case o.Err != nil:
+			status = "ERROR"
+			detail = o.Err.Error()
+		case !o.Pass():
+			status = "FAIL"
+			detail = fmt.Sprintf("want %s, got %s", o.Case.Want, o.Got)
+		}
+		fmt.Fprintf(&b, "%-5s line %-3d %-8s %s\n", status, o.Case.Line, detail, o.Case.Question)
+		if len(o.ConditionalOn) > 0 {
+			fmt.Fprintf(&b, "      conditional on: %s\n", strings.Join(o.ConditionalOn, ", "))
+		}
+	}
+	fmt.Fprintf(&b, "\n%d passed, %d failed\n", r.Passed, r.Failed)
+	return b.String()
+}

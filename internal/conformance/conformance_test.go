@@ -1,0 +1,103 @@
+package conformance
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+const suite = `
+# Acme compliance suite
+EXPECT VALID:   Does Acme share my email address with advertising partners?
+EXPECT VALID:   Does Acme collect my device identifiers?
+EXPECT INVALID: Does Acme sell my personal information?
+EXPECT INVALID: Does Acme share my medical records with insurance companies?
+`
+
+func TestParseSuite(t *testing.T) {
+	cases, err := ParseSuite(strings.NewReader(suite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 4 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	if cases[0].Want != query.Valid || cases[2].Want != query.Invalid {
+		t.Errorf("verdicts = %+v", cases)
+	}
+	if cases[0].Line != 3 {
+		t.Errorf("line = %d", cases[0].Line)
+	}
+}
+
+func TestParseSuiteErrors(t *testing.T) {
+	for _, src := range []string{
+		"EXPECT MAYBE: question?",
+		"EXPECT VALID question without colon",
+		"EXPECT VALID:",
+		"random text",
+	} {
+		if _, err := ParseSuite(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseSuite(%q) should fail", src)
+		}
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := ParseSuite(strings.NewReader(suite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), a.Engine, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("suite failed:\n%s", Render(res))
+	}
+	if res.Passed != 4 {
+		t.Errorf("passed = %d", res.Passed)
+	}
+	out := Render(res)
+	if !strings.Contains(out, "4 passed, 0 failed") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRunSuiteDetectsRegressions(t *testing.T) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wrong expectation must be reported as FAIL, not error.
+	cases, err := ParseSuite(strings.NewReader("EXPECT VALID: Does Acme sell my personal information?"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), a.Engine, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Passed != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !strings.Contains(Render(res), "FAIL") {
+		t.Error("FAIL line missing")
+	}
+}

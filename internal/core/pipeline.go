@@ -1,0 +1,208 @@
+// Package core orchestrates the full three-phase pipeline of Algorithm 1:
+// Phase 1 representation extraction, Phase 2 hierarchical graph
+// construction, Phase 3 semantic query verification — over any llm.Client
+// and embedding model, with optional on-disk caching of intermediates.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/privacy-quagmire/quagmire/internal/cache"
+	"github.com/privacy-quagmire/quagmire/internal/embed"
+	"github.com/privacy-quagmire/quagmire/internal/extract"
+	"github.com/privacy-quagmire/quagmire/internal/kg"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/query"
+	"github.com/privacy-quagmire/quagmire/internal/segment"
+	"github.com/privacy-quagmire/quagmire/internal/smt"
+	"github.com/privacy-quagmire/quagmire/internal/taxonomy"
+)
+
+// Options configures a pipeline.
+type Options struct {
+	// Client is the language model; defaults to a cached SimLLM.
+	Client llm.Client
+	// EmbedModel is the embedding model; defaults to "text-embedding-sim".
+	EmbedModel *embed.Model
+	// TaxonomyFilter enables the SciBERT-style similarity filter with the
+	// given threshold (0 disables).
+	TaxonomyFilterThreshold float64
+	// Limits bounds the SMT solver for Phase 3.
+	Limits smt.Limits
+	// CacheDir, when non-empty, persists intermediates there.
+	CacheDir string
+}
+
+// Pipeline runs Algorithm 1.
+type Pipeline struct {
+	client    llm.Client
+	model     *embed.Model
+	extractor *extract.Extractor
+	kgBuilder *kg.Builder
+	limits    smt.Limits
+	store     *cache.Store
+}
+
+// New constructs a pipeline from options.
+func New(opts Options) (*Pipeline, error) {
+	client := opts.Client
+	if client == nil {
+		client = llm.NewCachingClient(llm.NewSim())
+	}
+	model := opts.EmbedModel
+	if model == nil {
+		model = embed.NewModel("text-embedding-sim")
+	}
+	tb := &taxonomy.Builder{Client: client}
+	if opts.TaxonomyFilterThreshold > 0 {
+		tb.Filter = embed.NewModel("scibert-sim")
+		tb.FilterThreshold = opts.TaxonomyFilterThreshold
+	}
+	p := &Pipeline{
+		client:    client,
+		model:     model,
+		extractor: extract.New(client),
+		kgBuilder: kg.NewBuilder(tb),
+		limits:    opts.Limits,
+	}
+	if opts.CacheDir != "" {
+		store, err := cache.Open(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		p.store = store
+	}
+	return p, nil
+}
+
+// Analysis is the result of running Phases 1–2 over one policy version,
+// ready to answer Phase 3 queries.
+type Analysis struct {
+	// Extraction is the Phase 1 output.
+	Extraction *extract.Extraction
+	// KG is the Phase 2 output.
+	KG *kg.KnowledgeGraph
+	// Engine answers queries (Phase 3).
+	Engine *query.Engine
+}
+
+// Stats returns the Table 1 metrics of the analysis.
+func (a *Analysis) Stats() kg.Stats { return a.KG.Stats() }
+
+// Analyze runs Phases 1 and 2 over a policy text and prepares the query
+// engine.
+func (p *Pipeline) Analyze(ctx context.Context, policy string) (*Analysis, error) {
+	ex, err := p.extractor.ExtractPolicy(ctx, policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	k, err := p.kgBuilder.Build(ctx, ex)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	a := &Analysis{Extraction: ex, KG: k}
+	a.Engine = query.NewEngine(k, p.client, p.model)
+	a.Engine.Limits = p.limits
+	if p.store != nil {
+		if err := p.persist(a); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Update applies a new policy version to an existing analysis
+// incrementally: only changed segments are re-extracted and only affected
+// graph branches are touched.
+func (p *Pipeline) Update(ctx context.Context, prev *Analysis, newPolicy string) (*Analysis, segment.Diff, kg.UpdateStats, error) {
+	ex, diff, err := p.extractor.ReExtract(ctx, prev.Extraction, newPolicy)
+	if err != nil {
+		return nil, diff, kg.UpdateStats{}, fmt.Errorf("core: incremental phase 1: %w", err)
+	}
+	st, err := p.kgBuilder.Update(ctx, prev.KG, diff, ex)
+	if err != nil {
+		return nil, diff, st, fmt.Errorf("core: incremental phase 2: %w", err)
+	}
+	a := &Analysis{Extraction: ex, KG: prev.KG}
+	a.Engine = query.NewEngine(a.KG, p.client, p.model)
+	a.Engine.Limits = p.limits
+	if p.store != nil {
+		if err := p.persist(a); err != nil {
+			return nil, diff, st, err
+		}
+	}
+	return a, diff, st, nil
+}
+
+// Ask answers a natural-language query against an analysis (Phase 3).
+func (p *Pipeline) Ask(ctx context.Context, a *Analysis, q string) (*query.Result, error) {
+	return a.Engine.Ask(ctx, q)
+}
+
+// LoadAnalysis restores a persisted analysis for the given company from
+// the pipeline's cache directory, rebuilding the query engine over the
+// stored graph — so a CLI or server restart does not re-run extraction.
+func (p *Pipeline) LoadAnalysis(company string) (*Analysis, error) {
+	if p.store == nil {
+		return nil, fmt.Errorf("core: no cache directory configured")
+	}
+	key := "analysis-" + sanitizeKey(company)
+	var ex extract.Extraction
+	if err := p.store.Load(key+"-extraction", &ex); err != nil {
+		return nil, err
+	}
+	// BySegment is not serialized; rebuild it from the practices.
+	ex.BySegment = map[string][]extract.Practice{}
+	for _, seg := range ex.Segments {
+		ex.BySegment[seg.ID] = nil
+	}
+	for _, pr := range ex.Practices {
+		ex.BySegment[pr.SegmentID] = append(ex.BySegment[pr.SegmentID], pr)
+	}
+	k := &kg.KnowledgeGraph{Company: ex.Company}
+	if err := p.store.Load(key+"-graph", &k.ED); err != nil {
+		return nil, err
+	}
+	if err := p.store.Load(key+"-data-hierarchy", &k.DataH); err != nil {
+		return nil, err
+	}
+	if err := p.store.Load(key+"-entity-hierarchy", &k.EntityH); err != nil {
+		return nil, err
+	}
+	a := &Analysis{Extraction: &ex, KG: k}
+	a.Engine = query.NewEngine(k, p.client, p.model)
+	a.Engine.Limits = p.limits
+	return a, nil
+}
+
+// persist saves the analysis intermediates under company-derived keys.
+func (p *Pipeline) persist(a *Analysis) error {
+	key := "analysis-" + sanitizeKey(a.Extraction.Company)
+	if err := p.store.Save(key+"-extraction", a.Extraction); err != nil {
+		return err
+	}
+	if err := p.store.Save(key+"-graph", a.KG.ED); err != nil {
+		return err
+	}
+	if err := p.store.Save(key+"-data-hierarchy", a.KG.DataH); err != nil {
+		return err
+	}
+	return p.store.Save(key+"-entity-hierarchy", a.KG.EntityH)
+}
+
+func sanitizeKey(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "policy"
+	}
+	return string(out)
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/cache"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+func TestAnalyzeMiniPolicy(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Extraction.Company != "Acme" {
+		t.Errorf("company = %q", a.Extraction.Company)
+	}
+	st := a.Stats()
+	if st.Edges == 0 || st.Entities == 0 || st.DataTypes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	res, err := p.Ask(context.Background(), a, "Does Acme share my email address with advertising partners?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != query.Valid {
+		t.Errorf("verdict = %s", res.Verdict)
+	}
+}
+
+func TestAnalyzeWithCache(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Analyze(context.Background(), corpus.Mini()); err != nil {
+		t.Fatal(err)
+	}
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := store.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"analysis-Acme-extraction", "analysis-Acme-graph", "analysis-Acme-data-hierarchy", "analysis-Acme-entity-hierarchy"}
+	for _, w := range want {
+		found := false
+		for _, k := range keys {
+			if k == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cache missing %q (have %v)", w, keys)
+		}
+	}
+}
+
+func TestIncrementalUpdatePipeline(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(corpus.Mini(),
+		"We collect device identifiers automatically.",
+		"We collect device identifiers and browsing history automatically.", 1)
+	a2, diff, st, err := p.Update(context.Background(), a1, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Added) != 1 {
+		t.Errorf("diff added = %d", len(diff.Added))
+	}
+	if st.EdgesAdded == 0 {
+		t.Errorf("update stats = %+v", st)
+	}
+	if !a2.KG.ED.HasNode("browsing history") {
+		t.Error("new node missing after update")
+	}
+	// Queries still work after an update.
+	res, err := p.Ask(context.Background(), a2, "Does Acme collect my browsing history?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != query.Valid {
+		t.Errorf("post-update verdict = %s", res.Verdict)
+	}
+}
+
+func TestTaxonomyFilterOption(t *testing.T) {
+	p, err := New(Options{TaxonomyFilterThreshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.KG.DataH.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSanitizeKey(t *testing.T) {
+	if got := sanitizeKey("Tik Tak/2"); got != "Tik_Tak_2" {
+		t.Errorf("sanitizeKey = %q", got)
+	}
+	if got := sanitizeKey(""); got != "policy" {
+		t.Errorf("sanitizeKey empty = %q", got)
+	}
+}
+
+func TestFullCorpusShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-scale test")
+	}
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tik, err := p.Analyze(context.Background(), corpus.TikTak())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := p.Analyze(context.Background(), corpus.MetaBook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ms := tik.Stats(), meta.Stats()
+	// The Table 1 qualitative shape: hundreds of edges for TikTak,
+	// thousands for MetaBook, MetaBook 2.5-4.5x TikTak on each metric.
+	if ts.Edges < 500 || ts.Edges > 1500 {
+		t.Errorf("TikTak edges = %d, want ~1000", ts.Edges)
+	}
+	if ms.Edges < 2500 || ms.Edges > 5000 {
+		t.Errorf("MetaBook edges = %d, want ~3800", ms.Edges)
+	}
+	for name, ratio := range map[string]float64{
+		"nodes":     float64(ms.Nodes) / float64(ts.Nodes),
+		"edges":     float64(ms.Edges) / float64(ts.Edges),
+		"entities":  float64(ms.Entities) / float64(ts.Entities),
+		"datatypes": float64(ms.DataTypes) / float64(ts.DataTypes),
+	} {
+		if ratio < 2 || ratio > 5 {
+			t.Errorf("MetaBook/TikTak %s ratio = %.2f, want 2-5", name, ratio)
+		}
+	}
+}
+
+func TestLoadAnalysisFromCache(t *testing.T) {
+	dir := t.TempDir()
+	p, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh pipeline (fresh LLM cache) over the same directory restores
+	// the analysis without re-extracting.
+	p2, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := p2.LoadAnalysis("Acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != orig.Stats() {
+		t.Errorf("stats: %+v vs %+v", loaded.Stats(), orig.Stats())
+	}
+	if len(loaded.Extraction.BySegment) == 0 {
+		t.Error("BySegment not rebuilt")
+	}
+	// The rebuilt engine answers queries.
+	res, err := loaded.Engine.Ask(context.Background(), "Does Acme sell my personal information?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != query.Invalid {
+		t.Errorf("verdict = %s", res.Verdict)
+	}
+	// Unknown company fails cleanly.
+	if _, err := p2.LoadAnalysis("Nobody"); err == nil {
+		t.Error("missing analysis should fail")
+	}
+	// No cache dir fails cleanly.
+	p3, _ := New(Options{})
+	if _, err := p3.LoadAnalysis("Acme"); err == nil {
+		t.Error("cacheless pipeline should fail to load")
+	}
+}

@@ -1,0 +1,256 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes policy generation; all generation is deterministic
+// for a given Config.
+type Config struct {
+	// Company is the organization name.
+	Company string
+	// Seed drives the deterministic pseudo-random choices.
+	Seed int64
+	// PracticeStatements is the number of data-practice statements.
+	PracticeStatements int
+	// BoilerplateEvery inserts one boilerplate sentence after every N
+	// practice statements (0 disables).
+	BoilerplateEvery int
+	// DataRichness bounds how many modifier×type data combinations are
+	// drawn (distinct data vocabulary size).
+	DataRichness int
+	// EntityRichness bounds how many modifier×type party combinations are
+	// drawn (distinct entity vocabulary size).
+	EntityRichness int
+}
+
+// generator holds per-run state.
+type generator struct {
+	cfg     Config
+	r       *rand.Rand
+	data    []string
+	parties []string
+	actions []string
+	b       strings.Builder
+}
+
+// Generate renders a synthetic policy for the configuration.
+func Generate(cfg Config) string {
+	g := &generator{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed)), actions: userActions}
+	g.buildVocab()
+	g.render()
+	return g.b.String()
+}
+
+func (g *generator) buildVocab() {
+	// Enumerate modifier×base combinations in a deterministic shuffled
+	// order, then take the first N.
+	var allData []string
+	for _, m := range dataModifiers {
+		for _, d := range baseDataTypes {
+			if m == "" {
+				allData = append(allData, d)
+			} else {
+				allData = append(allData, m+" "+d)
+			}
+		}
+	}
+	g.r.Shuffle(len(allData), func(i, j int) { allData[i], allData[j] = allData[j], allData[i] })
+	n := g.cfg.DataRichness
+	if n <= 0 || n > len(allData) {
+		n = len(allData)
+	}
+	g.data = allData[:n]
+
+	var allParties []string
+	for _, m := range partyModifiers {
+		for _, p := range basePartyTypes {
+			if m == "" {
+				allParties = append(allParties, p)
+			} else {
+				allParties = append(allParties, m+" "+p)
+			}
+		}
+	}
+	g.r.Shuffle(len(allParties), func(i, j int) { allParties[i], allParties[j] = allParties[j], allParties[i] })
+	n = g.cfg.EntityRichness
+	if n <= 0 || n > len(allParties) {
+		n = len(allParties)
+	}
+	g.parties = allParties[:n]
+}
+
+func (g *generator) pick(list []string) string { return list[g.r.Intn(len(list))] }
+
+func (g *generator) pickData() string  { return g.pick(g.data) }
+func (g *generator) pickParty() string { return g.pick(g.parties) }
+
+func titleFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func plural(term string) string {
+	if strings.HasSuffix(term, "s") || strings.HasSuffix(term, "y") {
+		return term
+	}
+	return term + "s"
+}
+
+// statement emits one data-practice statement chosen from the template
+// families that mirror the paper's Tables 2–3.
+func (g *generator) statement() string {
+	switch g.r.Intn(13) {
+	case 10: // receiver-initiated flow
+		return fmt.Sprintf("%s may receive your %s if %s.",
+			titleFirst(plural(g.pickParty())), g.pickData(), g.pick(conditions))
+	case 11: // two coordinated shares (parties are entity-rich)
+		return fmt.Sprintf("We %s %s with %s, and we %s %s to %s.",
+			g.pick(shareVerbs), plural(g.pickData()), plural(g.pickParty()),
+			g.pick(shareVerbs), plural(g.pickData()), plural(g.pickParty()))
+	case 12: // inbound from a named party
+		return fmt.Sprintf("%s provide %s to us.",
+			titleFirst(plural(g.pickParty())), plural(g.pickData()))
+	case 0: // simple collection
+		return fmt.Sprintf("We %s your %s.", g.pick(collectVerbs), g.pickData())
+	case 1: // coordinated collection
+		return fmt.Sprintf("We %s %s and %s automatically.",
+			g.pick(collectVerbs), plural(g.pickData()), plural(g.pickData()))
+	case 2: // outbound share
+		return fmt.Sprintf("We %s your %s with %s.",
+			g.pick(shareVerbs), g.pickData(), plural(g.pickParty()))
+	case 3: // share with vague purpose condition
+		return fmt.Sprintf("We %s %s with %s for %s.",
+			g.pick(shareVerbs), plural(g.pickData()), plural(g.pickParty()), g.pick(conditions[3:5]))
+	case 4: // conditional collection (leading clause, Table 2 row 3 shape)
+		return fmt.Sprintf("If you %s, we will %s and %s your %s.",
+			g.pick(g.actions), g.pick(collectVerbs), g.pick(collectVerbs), g.pickData())
+	case 5: // enumeration (Table 2 row 2 shape)
+		return fmt.Sprintf("When you %s, you may provide %s information, such as %s, %s, %s, and %s.",
+			g.pick(g.actions), g.pick([]string{"account and profile", "registration", "payment and delivery", "identity"}),
+			g.pickData(), g.pickData(), g.pickData(), g.pickData())
+	case 6: // denial
+		return fmt.Sprintf("We do not %s your %s.",
+			g.pick([]string{"sell", "sell", "disclose", "transfer"}), g.pickData())
+	case 7: // self-directed processing with trailing condition
+		return fmt.Sprintf("We %s %s when %s.",
+			g.pick(selfVerbs), plural(g.pickData()), g.pick(conditions))
+	case 8: // inbound from third party
+		return fmt.Sprintf("We %s your %s from %s.",
+			g.pick([]string{"receive", "obtain", "collect"}), g.pickData(), plural(g.pickParty()))
+	default: // multi-actor financial shape (Table 3 row 3)
+		return fmt.Sprintf("You make purchases and transactions, and we %s, %s, and %s %s.",
+			g.pick(selfVerbs), g.pick(selfVerbs), g.pick(selfVerbs), plural(g.pickData()))
+	}
+}
+
+var sectionHeads = []string{
+	"Information We Collect", "How We Use Information",
+	"How We Share Information", "Information From Third Parties",
+	"Your Rights and Choices", "Data Retention", "Security",
+	"Children's Privacy", "International Transfers", "Advertising",
+	"Cookies and Similar Technologies", "Changes to This Policy",
+}
+
+func (g *generator) render() {
+	fmt.Fprintf(&g.b, "# %s Privacy Policy\n\n", g.cfg.Company)
+	fmt.Fprintf(&g.b, "This Privacy Policy describes how %s (\"we\", \"us\", or \"our\") collects, uses, and shares information about you when you use our services.\n\n", g.cfg.Company)
+
+	perSection := g.cfg.PracticeStatements / len(sectionHeads)
+	if perSection < 1 {
+		perSection = 1
+	}
+	emitted := 0
+	for _, head := range sectionHeads {
+		if emitted >= g.cfg.PracticeStatements {
+			break
+		}
+		fmt.Fprintf(&g.b, "## %s\n\n", head)
+		for i := 0; i < perSection && emitted < g.cfg.PracticeStatements; i++ {
+			g.b.WriteString(g.statement())
+			g.b.WriteString("\n\n")
+			emitted++
+			if g.cfg.BoilerplateEvery > 0 && emitted%g.cfg.BoilerplateEvery == 0 {
+				g.b.WriteString(g.pick(boilerplate))
+				g.b.WriteString("\n\n")
+			}
+		}
+	}
+	// The paper's Tables 2–3 example statements, verbatim-equivalent for
+	// our company names, so the decomposition experiments run against
+	// exactly these rows.
+	g.b.WriteString("## Illustrative Practices\n\n")
+	for _, s := range TableStatements(g.cfg.Company) {
+		g.b.WriteString(s)
+		g.b.WriteString("\n\n")
+	}
+}
+
+// TableStatements returns the Table 2/Table 3 analog statements for a
+// company, used by the decomposition experiments.
+func TableStatements(company string) []string {
+	return []string{
+		// Table 2 row 1 analog.
+		"When you create an account, upload content, or contact customer support, you may provide registration information, such as a name, an email address, a password, and a profile image.",
+		// Table 2 row 2 analog (ten distinct edges).
+		"You may provide account and profile information, such as name, age, username, password, language, email address, phone number, social media account information, and profile image.",
+		// Table 2 row 3 analog.
+		fmt.Sprintf("If you choose to find other users through your phone contacts, %s will access and collect names, phone numbers, and email addresses of contacts.", company),
+		// Table 3 row 1 analog (camera/voice features).
+		fmt.Sprintf("When you use the camera feature or use voice-enabled features, %s collects photos, videos, and audio recordings.", company),
+		// Table 3 row 2 analog (interaction tracking).
+		"You view content, interact with ads, and engage with commercial content.",
+		// Table 3 row 3 analog (financial ecosystem).
+		fmt.Sprintf("When you make a purchase, you may provide payment information, such as a truncated credit card number, a billing address, and a loyalty account number, and %s will process and preserve transaction records.", company),
+	}
+}
+
+// TikTak returns the ~15k-word synthetic policy standing in for TikTok's.
+func TikTak() string {
+	return Generate(Config{
+		Company:            "TikTak",
+		Seed:               1001,
+		PracticeStatements: 530,
+		BoilerplateEvery:   1,
+		DataRichness:       95,
+		EntityRichness:     260,
+	})
+}
+
+// MetaBook returns the ~40k-word synthetic policy standing in for Meta's.
+func MetaBook() string {
+	return Generate(Config{
+		Company:            "MetaBook",
+		Seed:               2002,
+		PracticeStatements: 1950,
+		BoilerplateEvery:   2,
+		DataRichness:       310,
+		EntityRichness:     700,
+	})
+}
+
+// Mini returns a small hand-written policy for fast tests and examples.
+func Mini() string {
+	return `# Acme Privacy Policy
+
+This Privacy Policy describes how Acme ("we", "us", or "our") handles your information.
+
+## Information We Collect
+
+When you create an account, you may provide your email address. We collect device identifiers automatically.
+
+## How We Share Information
+
+We share email addresses with advertising partners.
+
+We share usage data with service providers for legitimate business purposes.
+
+## Your Choices
+
+We do not sell your personal information.
+`
+}

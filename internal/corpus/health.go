@@ -1,0 +1,54 @@
+package corpus
+
+import "math/rand"
+
+// Healthcare-domain vocabulary demonstrating §5's claim that "the system
+// generalizes across domains without modification": none of these terms
+// appear in any fixed taxonomy the pipeline consults, yet the LLM
+// extraction and Chain-of-Layer induction handle them unchanged.
+var healthDataTypes = []string{
+	"medical record number", "diagnosis code", "prescription history",
+	"lab result", "immunization record", "allergy list", "vital sign reading",
+	"blood pressure measurement", "glucose level", "heart rate trace",
+	"imaging study", "radiology report", "pathology slide", "genomic sequence",
+	"insurance member id", "claim record", "copay amount",
+	"appointment history", "referral letter", "discharge summary",
+	"mental health note", "therapy session recording", "wearable sensor stream",
+	"medication adherence log", "clinical trial enrollment status",
+}
+
+var healthParties = []string{
+	"treating physician", "specialist consultant", "pharmacy network",
+	"health insurance plan", "clinical laboratory", "imaging center",
+	"care coordination vendor", "telehealth platform", "public health agency",
+	"clinical research sponsor", "health information exchange",
+	"billing clearinghouse", "medical device manufacturer",
+}
+
+var healthActions = []string{
+	"enroll in a care program", "schedule an appointment",
+	"refill a prescription", "message your care team",
+	"upload a wearable device reading", "complete an intake questionnaire",
+	"consent to a clinical trial", "request your medical records",
+}
+
+// HealthTrack returns a healthcare-domain synthetic policy used by the
+// cross-domain generalization experiment. It reuses the same statement
+// templates as the consumer policies but draws entirely from clinical
+// vocabulary.
+func HealthTrack() string {
+	g := &generator{
+		cfg: Config{
+			Company:            "HealthTrack",
+			Seed:               3003,
+			PracticeStatements: 150,
+			BoilerplateEvery:   2,
+		},
+		r:       rand.New(rand.NewSource(3003)),
+		data:    healthDataTypes,
+		parties: healthParties,
+		actions: healthActions,
+	}
+	g.render()
+	return g.b.String()
+}

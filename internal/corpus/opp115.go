@@ -1,0 +1,47 @@
+package corpus
+
+import "strings"
+
+// OPP115Category is one top-level category of the OPP-115 annotation
+// scheme used by Polisis and referenced in Algorithm 1 line 8.
+type OPP115Category struct {
+	// Name is the category label.
+	Name string
+	// Keywords cue statements belonging to the category.
+	Keywords []string
+}
+
+// OPP115 is the embedded OPP-115 taxonomy: the ten top-level data-practice
+// categories from the Usable Privacy Policy Project corpus.
+var OPP115 = []OPP115Category{
+	{"First Party Collection/Use", []string{"collect", "use", "gather", "receive", "obtain", "record", "process"}},
+	{"Third Party Sharing/Collection", []string{"share", "disclose", "sell", "transfer", "third party", "partner", "provider"}},
+	{"User Choice/Control", []string{"choice", "opt out", "opt in", "control", "settings", "choose", "consent"}},
+	{"User Access, Edit and Deletion", []string{"access", "edit", "delete", "correct", "update", "remove", "download"}},
+	{"Data Retention", []string{"retain", "retention", "keep", "store", "preserve", "as long as"}},
+	{"Data Security", []string{"security", "encrypt", "protect", "safeguard", "secure"}},
+	{"Policy Change", []string{"change", "update", "modify", "revise", "notify"}},
+	{"Do Not Track", []string{"do not track", "dnt", "tracking signal"}},
+	{"International and Specific Audiences", []string{"children", "california", "europe", "international", "transfer", "gdpr", "ccpa"}},
+	{"Other", nil},
+}
+
+// MatchOPP115 classifies a statement into OPP-115 categories by keyword
+// cueing (Algorithm 1's Match(s, T)). Statements matching nothing go to
+// "Other".
+func MatchOPP115(statement string) []string {
+	lower := strings.ToLower(statement)
+	var out []string
+	for _, c := range OPP115 {
+		for _, kw := range c.Keywords {
+			if strings.Contains(lower, kw) {
+				out = append(out, c.Name)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "Other")
+	}
+	return out
+}

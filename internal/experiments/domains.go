@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/baseline"
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+// DomainRow reports the cross-domain generalization experiment (E7) for
+// one policy: full-pipeline metrics plus how much of the domain's
+// vocabulary a fixed taxonomy could have placed (the Challenge 2 failure
+// our dynamic hierarchies avoid).
+type DomainRow struct {
+	// Policy is the corpus name.
+	Policy string
+	// Edges and DataTypes are pipeline outputs.
+	Edges, DataTypes int
+	// HierarchyComplete reports whether every extracted data type was
+	// placed in the dynamic hierarchy.
+	HierarchyComplete bool
+	// FixedCovered / FixedTotal is the fixed-taxonomy coverage of the
+	// same vocabulary.
+	FixedCovered, FixedTotal int
+	// SampleVerdict is the verdict of a domain-specific query, proving
+	// Phase 3 works unchanged.
+	SampleVerdict query.Verdict
+}
+
+// Domains runs the pipeline unchanged over the consumer and healthcare
+// corpora (§5: "the system generalizes across domains without
+// modification").
+func Domains(ctx context.Context) ([]DomainRow, error) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name, text string
+	}{
+		{"Acme (consumer)", corpus.Mini()},
+		{"HealthTrack (clinical)", corpus.HealthTrack()},
+	}
+	var rows []DomainRow
+	for _, c := range cases {
+		a, err := p.Analyze(ctx, c.text)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: domain %s: %w", c.name, err)
+		}
+		st := a.Stats()
+		complete := true
+		for _, d := range a.KG.DataTypes() {
+			if !a.KG.DataH.Has(d) {
+				complete = false
+			}
+		}
+		cov := baseline.FixedTaxonomyCoverage(a.KG.DataTypes())
+		// Query an actual unconditional company practice with the
+		// domain's own vocabulary; Phase 3 must confirm it unchanged.
+		res, err := a.Engine.AskParams(ctx, sampleQuery(a))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: domain query %s: %w", c.name, err)
+		}
+		rows = append(rows, DomainRow{
+			Policy: c.name, Edges: st.Edges, DataTypes: st.DataTypes,
+			HierarchyComplete: complete,
+			FixedCovered:      cov.Covered, FixedTotal: cov.Total,
+			SampleVerdict: res.Verdict,
+		})
+	}
+	return rows, nil
+}
+
+// sampleQuery derives a query from the first unconditional allow-practice
+// of the policy's company. Sender and Receiver are both set to the actor so
+// FlowRoles resolves the company regardless of verb direction.
+func sampleQuery(a *core.Analysis) llm.ParamSet {
+	company := a.Extraction.Company
+	for _, e := range a.KG.ED.Edges() {
+		if e.From == company && e.Condition == "" && e.Permission == "allow" {
+			return llm.ParamSet{Sender: e.From, Receiver: e.From, DataType: e.To, Action: e.Label}
+		}
+	}
+	return llm.ParamSet{Sender: company, Receiver: company, DataType: "data", Action: "collect"}
+}
+
+// RenderDomains renders the cross-domain rows.
+func RenderDomains(rows []DomainRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %7s %10s %10s %16s %10s\n",
+		"Policy", "Edges", "DataTypes", "Hierarchy", "FixedTaxonomy", "Verdict")
+	for _, r := range rows {
+		h := "complete"
+		if !r.HierarchyComplete {
+			h = "INCOMPLETE"
+		}
+		fmt.Fprintf(&b, "%-24s %7d %10d %10s %9d/%-6d %10s\n",
+			r.Policy, r.Edges, r.DataTypes, h, r.FixedCovered, r.FixedTotal, r.SampleVerdict)
+	}
+	return b.String()
+}
+
+// FleetRow reports the MAPS-style fleet aggregation (related-work
+// comparison from §1.1: "MAPS ... analyzed over one million Android apps").
+type FleetRow struct {
+	// Category is the data-category keyword.
+	Category string
+	// CollectRate and ShareRate are fleet fractions.
+	CollectRate, ShareRate float64
+}
+
+// Fleet runs MAPS-style aggregation over a generated policy fleet. The
+// second return is the explicit do-not-sell rate; the third is the vague
+// -language rate (the Usable Privacy Policy Project reports >75%).
+func Fleet(ctx context.Context, policies int) ([]FleetRow, float64, float64, error) {
+	texts := make([]string, policies)
+	for i := range texts {
+		texts[i] = corpus.Generate(corpus.Config{
+			Company: fmt.Sprintf("FleetApp%d", i), Seed: int64(7000 + i),
+			PracticeStatements: 40, BoilerplateEvery: 2,
+			DataRichness: 40, EntityRichness: 30,
+		})
+	}
+	stats, err := baseline.AnalyzeFleet(ctx, texts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var rows []FleetRow
+	for _, c := range stats.TopCategories() {
+		rows = append(rows, FleetRow{
+			Category: c, CollectRate: stats.CollectRates[c], ShareRate: stats.ShareRates[c],
+		})
+	}
+	return rows, stats.DenySaleRate, stats.VagueRate, nil
+}
+
+// RenderFleet renders fleet rows.
+func RenderFleet(rows []FleetRow, denySale, vagueRate float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s\n", "Category", "Collect%", "Share%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.0f%% %9.0f%%\n", r.Category, r.CollectRate*100, r.ShareRate*100)
+	}
+	fmt.Fprintf(&b, "explicit do-not-sell statements: %.0f%% of policies\n", denySale*100)
+	fmt.Fprintf(&b, "vague language present:          %.0f%% of policies (UPPP reports >75%%)\n", vagueRate*100)
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+func TestDomainsGeneralization(t *testing.T) {
+	rows, err := Domains(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The dynamic hierarchy places every term in every domain.
+		if !r.HierarchyComplete {
+			t.Errorf("%s: dynamic hierarchy incomplete", r.Policy)
+		}
+		// Phase 3 confirms a real practice in each domain unchanged.
+		if r.SampleVerdict != query.Valid {
+			t.Errorf("%s: sample verdict = %s", r.Policy, r.SampleVerdict)
+		}
+	}
+	// The fixed taxonomy covers the consumer domain better than the
+	// clinical one, and leaves clinical vocabulary mostly unplaced —
+	// Challenge 2.
+	clinical := rows[1]
+	if !strings.Contains(clinical.Policy, "clinical") {
+		t.Fatalf("unexpected row order: %+v", rows)
+	}
+	fixedRate := float64(clinical.FixedCovered) / float64(clinical.FixedTotal)
+	if fixedRate > 0.6 {
+		t.Errorf("fixed taxonomy unexpectedly covers clinical domain: %.2f", fixedRate)
+	}
+	if RenderDomains(rows) == "" {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFleetAggregation(t *testing.T) {
+	rows, denySale, vagueRate, err := Fleet(context.Background(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no fleet rows")
+	}
+	for _, r := range rows {
+		if r.CollectRate < 0 || r.CollectRate > 1 || r.ShareRate < 0 || r.ShareRate > 1 {
+			t.Errorf("rates out of range: %+v", r)
+		}
+	}
+	if denySale < 0 || denySale > 1 {
+		t.Errorf("deny-sale rate = %v", denySale)
+	}
+	// The §1 claim analog: vague language is pervasive in the fleet.
+	if vagueRate < 0.75 {
+		t.Errorf("vague-language rate = %v, expected >= 0.75 (UPPP claim shape)", vagueRate)
+	}
+	if RenderFleet(rows, denySale, vagueRate) == "" {
+		t.Error("rendering broken")
+	}
+}

@@ -1,0 +1,416 @@
+// Package experiments regenerates every table and evaluation claim of the
+// paper: Table 1 extraction statistics, Tables 2–3 multi-edge
+// decompositions, the §4.2 embedding-similarity claims, extraction
+// scaling, SMT clause-count blow-up, incremental updates, the
+// PolicyLint-style contradiction analysis and the end-to-end verdict
+// mapping. Each experiment returns structured rows plus a papers-style
+// text rendering; cmd/experiments and the benchmark suite are thin
+// wrappers over this package.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/baseline"
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/embed"
+	"github.com/privacy-quagmire/quagmire/internal/extract"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/query"
+	"github.com/privacy-quagmire/quagmire/internal/segment"
+)
+
+// Table1Row is one column of the paper's Table 1.
+type Table1Row struct {
+	// Policy is the corpus name.
+	Policy string
+	// PaperNodes etc. record the paper's reported values for comparison.
+	Nodes, Edges, Entities, DataTypes int
+	// Words is the policy length.
+	Words int
+}
+
+// paperTable1 holds the published values for EXPERIMENTS.md comparison.
+var paperTable1 = map[string]Table1Row{
+	"TikTok (paper)": {Policy: "TikTok (paper)", Nodes: 419, Edges: 974, Entities: 217, DataTypes: 122},
+	"Meta (paper)":   {Policy: "Meta (paper)", Nodes: 1323, Edges: 3801, Entities: 700, DataTypes: 382},
+}
+
+// PaperTable1 returns the published Table 1 rows.
+func PaperTable1() []Table1Row {
+	return []Table1Row{paperTable1["TikTok (paper)"], paperTable1["Meta (paper)"]}
+}
+
+// Table1 runs full extraction over both corpus policies and reports the
+// Table 1 metrics.
+func Table1(ctx context.Context) ([]Table1Row, error) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, pol := range []struct{ name, text string }{
+		{"TikTak", corpus.TikTak()},
+		{"MetaBook", corpus.MetaBook()},
+	} {
+		a, err := p.Analyze(ctx, pol.text)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 %s: %w", pol.name, err)
+		}
+		st := a.Stats()
+		rows = append(rows, Table1Row{
+			Policy: pol.name, Nodes: st.Nodes, Edges: st.Edges,
+			Entities: st.Entities, DataTypes: st.DataTypes,
+			Words: len(strings.Fields(pol.text)),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 renders rows in the paper's layout.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %9s %10s %8s\n", "Metric", "Nodes", "Edges", "Entities", "DataTypes", "Words")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8d %8d %9d %10d %8d\n", r.Policy, r.Nodes, r.Edges, r.Entities, r.DataTypes, r.Words)
+	}
+	return b.String()
+}
+
+// DecompRow is one row of Tables 2–3: a policy statement and the semantic
+// edges it decomposes into.
+type DecompRow struct {
+	// Statement is the policy text.
+	Statement string
+	// Edges are the extracted [actor]-action->[object] edges.
+	Edges []string
+}
+
+// Decompose extracts the multi-edge decomposition of each statement for a
+// company, reproducing the Tables 2–3 methodology.
+func Decompose(ctx context.Context, company string, statements []string) ([]DecompRow, error) {
+	e := extract.New(llm.NewCachingClient(llm.NewSim()))
+	var rows []DecompRow
+	for _, stmt := range statements {
+		seg := segment.Segment{ID: segment.Hash(stmt), Text: stmt}
+		ps, err := e.ExtractSegment(ctx, company, seg)
+		if err != nil {
+			return nil, err
+		}
+		row := DecompRow{Statement: stmt}
+		for _, p := range ps {
+			actor, _ := llm.FlowRoles(p.ParamSet)
+			row.Edges = append(row.Edges, fmt.Sprintf("[%s]-%s->[%s]", actor, p.Action, p.DataType))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2 decomposes the TikTak analog statements (paper Table 2).
+func Table2(ctx context.Context) ([]DecompRow, error) {
+	return Decompose(ctx, "TikTak", corpus.TableStatements("TikTak")[:3])
+}
+
+// Table3 decomposes the MetaBook analog statements (paper Table 3).
+func Table3(ctx context.Context) ([]DecompRow, error) {
+	return Decompose(ctx, "MetaBook", corpus.TableStatements("MetaBook")[3:])
+}
+
+// RenderDecomp renders decomposition rows.
+func RenderDecomp(rows []DecompRow) string {
+	var b strings.Builder
+	for i, r := range rows {
+		fmt.Fprintf(&b, "Statement %d (%d edges): %s\n", i+1, len(r.Edges), r.Statement)
+		for _, e := range r.Edges {
+			fmt.Fprintf(&b, "    %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// SimRow is one embedding-similarity claim (§4.2/§4.3).
+type SimRow struct {
+	// A and B are the compared terms.
+	A, B string
+	// Score is the cosine similarity.
+	Score float64
+	// PaperClaim describes what the paper reports for the pair.
+	PaperClaim string
+}
+
+// SimilarityClaims evaluates the paper's similarity examples.
+func SimilarityClaims() []SimRow {
+	m := embed.NewModel("text-embedding-sim")
+	rows := []SimRow{
+		{A: "email address", B: "email", PaperClaim: "matches with 0.999 similarity"},
+		{A: "location data", B: "location information", PaperClaim: "successfully matches"},
+		{A: "location data", B: "gps location", PaperClaim: "successfully matches"},
+		{A: "email address", B: "email addresses", PaperClaim: "(normalization)"},
+		{A: "email address", B: "credit card number", PaperClaim: "(unrelated control)"},
+	}
+	for i := range rows {
+		rows[i].Score = m.Similarity(rows[i].A, rows[i].B)
+	}
+	return rows
+}
+
+// RenderSimilarity renders similarity rows.
+func RenderSimilarity(rows []SimRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-24s %8s   %s\n", "Term A", "Term B", "Cosine", "Paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-24s %8.3f   %s\n", r.A, r.B, r.Score, r.PaperClaim)
+	}
+	return b.String()
+}
+
+// ScaleRow is one point of the extraction-scaling sweep (E2).
+type ScaleRow struct {
+	// Words is the policy size.
+	Words int
+	// Segments and Edges are extraction outputs.
+	Segments, Edges int
+	// Elapsed is the wall-clock extraction time.
+	Elapsed time.Duration
+}
+
+// ScalingSweep extracts policies of increasing size and reports
+// throughput; the paper claims extraction "scales linearly with policy
+// size through segmentation and caching".
+func ScalingSweep(ctx context.Context, statementCounts []int) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for _, n := range statementCounts {
+		text := corpus.Generate(corpus.Config{
+			Company: "ScaleCo", Seed: 42, PracticeStatements: n,
+			BoilerplateEvery: 1, DataRichness: 120, EntityRichness: 150,
+		})
+		p, err := core.New(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		a, err := p.Analyze(ctx, text)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScaleRow{
+			Words:    len(strings.Fields(text)),
+			Segments: len(a.Extraction.Segments),
+			Edges:    a.Stats().Edges,
+			Elapsed:  time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// RenderScaling renders scaling rows with a per-word rate column.
+func RenderScaling(rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %8s %12s %14s\n", "Words", "Segments", "Edges", "Elapsed", "µs/word")
+	for _, r := range rows {
+		rate := float64(r.Elapsed.Microseconds()) / float64(r.Words)
+		fmt.Fprintf(&b, "%10d %10d %8d %12s %14.1f\n", r.Words, r.Segments, r.Edges, r.Elapsed.Round(time.Millisecond), rate)
+	}
+	return b.String()
+}
+
+// IncRow is one point of the incremental-update sweep (E4).
+type IncRow struct {
+	// EditedFraction is the share of practice statements modified.
+	EditedFraction float64
+	// SegmentsChanged and SegmentsTotal report the diff.
+	SegmentsChanged, SegmentsTotal int
+	// LLMCallsIncremental and LLMCallsFull compare effort.
+	LLMCallsIncremental, LLMCallsFull int
+}
+
+// IncrementalSweep edits growing fractions of a policy and compares the
+// model-call cost of incremental re-extraction against full re-analysis.
+func IncrementalSweep(ctx context.Context, fractions []float64) ([]IncRow, error) {
+	base := corpus.Generate(corpus.Config{
+		Company: "IncrCo", Seed: 77, PracticeStatements: 120,
+		BoilerplateEvery: 1, DataRichness: 80, EntityRichness: 80,
+	})
+	var rows []IncRow
+	for _, frac := range fractions {
+		edited := editFraction(base, frac)
+
+		// Incremental path.
+		ext := extract.New(llm.NewSim())
+		prev, err := ext.ExtractPolicy(ctx, base)
+		if err != nil {
+			return nil, err
+		}
+		callsBefore := ext.Stats.LLMCalls
+		_, diff, err := ext.ReExtract(ctx, prev, edited)
+		if err != nil {
+			return nil, err
+		}
+		incCalls := ext.Stats.LLMCalls - callsBefore
+
+		// Full path.
+		full := extract.New(llm.NewSim())
+		if _, err := full.ExtractPolicy(ctx, edited); err != nil {
+			return nil, err
+		}
+		rows = append(rows, IncRow{
+			EditedFraction:      frac,
+			SegmentsChanged:     len(diff.Added),
+			SegmentsTotal:       len(diff.Added) + len(diff.Kept),
+			LLMCallsIncremental: incCalls,
+			LLMCallsFull:        full.Stats.LLMCalls,
+		})
+	}
+	return rows, nil
+}
+
+// editFraction rewrites approximately the given fraction of practice
+// statements (lines ending with a period) deterministically.
+func editFraction(policy string, frac float64) string {
+	lines := strings.Split(policy, "\n")
+	var practiceIdx []int
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "#") && strings.HasSuffix(t, ".") {
+			practiceIdx = append(practiceIdx, i)
+		}
+	}
+	n := int(float64(len(practiceIdx)) * frac)
+	for i := 0; i < n && i < len(practiceIdx); i++ {
+		// Deterministic spread across the document.
+		idx := practiceIdx[(i*7)%len(practiceIdx)]
+		lines[idx] = strings.TrimSuffix(lines[idx], ".") + " under the revised terms."
+	}
+	return strings.Join(lines, "\n")
+}
+
+// RenderIncremental renders incremental-update rows.
+func RenderIncremental(rows []IncRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %10s %14s %10s %8s\n", "Edited", "Changed", "Total", "IncrCalls", "FullCalls", "Saved")
+	for _, r := range rows {
+		saved := 1 - float64(r.LLMCallsIncremental)/float64(r.LLMCallsFull)
+		fmt.Fprintf(&b, "%7.0f%% %10d %10d %14d %10d %7.0f%%\n",
+			r.EditedFraction*100, r.SegmentsChanged, r.SegmentsTotal,
+			r.LLMCallsIncremental, r.LLMCallsFull, saved*100)
+	}
+	return b.String()
+}
+
+// LintSummary aggregates the PolicyLint-style analysis (E5).
+type LintSummary struct {
+	// Policies analyzed.
+	Policies int
+	// WithApparent counts policies showing >=1 apparent contradiction
+	// (PolicyLint reports 14.2% of apps).
+	WithApparent int
+	// Apparent, Exceptions, Genuine are pair counts over all policies.
+	Apparent, Exceptions, Genuine int
+}
+
+// Contradictions runs the PolicyLint-style detector over a fleet of
+// generated policies and classifies apparent contradictions into coherent
+// exceptions vs genuine conflicts.
+func Contradictions(ctx context.Context, policies int) (LintSummary, error) {
+	sum := LintSummary{Policies: policies}
+	for i := 0; i < policies; i++ {
+		text := corpus.Generate(corpus.Config{
+			Company: fmt.Sprintf("App%d", i), Seed: int64(9000 + i),
+			PracticeStatements: 60, BoilerplateEvery: 2,
+			DataRichness: 25, EntityRichness: 25,
+		})
+		e := extract.New(llm.NewSim())
+		ex, err := e.ExtractPolicy(ctx, text)
+		if err != nil {
+			return sum, err
+		}
+		rep := baseline.Lint(ex.Practices)
+		if len(rep.Apparent) > 0 {
+			sum.WithApparent++
+		}
+		sum.Apparent += len(rep.Apparent)
+		sum.Exceptions += rep.Exceptions
+		sum.Genuine += rep.Genuine
+	}
+	return sum, nil
+}
+
+// RenderLint renders the contradiction summary.
+func RenderLint(s LintSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policies analyzed:               %d\n", s.Policies)
+	fmt.Fprintf(&b, "with apparent contradictions:    %d (%.1f%%; PolicyLint reports 14.2%% of apps)\n",
+		s.WithApparent, 100*float64(s.WithApparent)/float64(s.Policies))
+	fmt.Fprintf(&b, "apparent contradiction pairs:    %d\n", s.Apparent)
+	fmt.Fprintf(&b, "  coherent exception patterns:   %d\n", s.Exceptions)
+	fmt.Fprintf(&b, "  genuine conflicts:             %d\n", s.Genuine)
+	return b.String()
+}
+
+// VerdictRow is one end-to-end query outcome (E6).
+type VerdictRow struct {
+	// Question is the natural-language query.
+	Question string
+	// Want and Got are expected/actual verdicts.
+	Want, Got query.Verdict
+	// Placeholders surfaced by the engine.
+	Placeholders []string
+	// ConditionalOn is non-empty for conditionally valid results.
+	ConditionalOn []string
+}
+
+// Verdicts runs the standard query set against the Mini policy and checks
+// the unsat⇒VALID / sat⇒INVALID mapping.
+func Verdicts(ctx context.Context) ([]VerdictRow, error) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.Analyze(ctx, corpus.Mini())
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		q    string
+		want query.Verdict
+	}{
+		{"Does Acme share my email address with advertising partners?", query.Valid},
+		{"Does Acme share my usage data with service providers?", query.Valid}, // conditionally
+		{"Does Acme sell my personal information?", query.Invalid},
+		{"Does Acme share my medical records with insurance companies?", query.Invalid},
+		{"Does Acme collect my device identifiers?", query.Valid},
+	}
+	var rows []VerdictRow
+	for _, c := range cases {
+		res, err := a.Engine.Ask(ctx, c.q)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: verdict %q: %w", c.q, err)
+		}
+		rows = append(rows, VerdictRow{
+			Question: c.q, Want: c.want, Got: res.Verdict,
+			Placeholders: res.Placeholders, ConditionalOn: res.ConditionalOn,
+		})
+	}
+	return rows, nil
+}
+
+// RenderVerdicts renders verdict rows.
+func RenderVerdicts(rows []VerdictRow) string {
+	var b strings.Builder
+	for _, r := range rows {
+		mark := "ok"
+		if r.Want != r.Got {
+			mark = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "[%-8s] want %-8s got %-8s  %s\n", mark, r.Want, r.Got, r.Question)
+		if len(r.ConditionalOn) > 0 {
+			fmt.Fprintf(&b, "            conditional on: %s\n", strings.Join(r.ConditionalOn, ", "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package extract
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+)
+
+func TestConcurrentExtractionMatchesSequential(t *testing.T) {
+	seq := New(llm.NewSim())
+	exSeq, err := seq.ExtractPolicy(context.Background(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := New(llm.NewSim())
+	par.Concurrency = 8
+	exPar, err := par.ExtractPolicy(context.Background(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exSeq.Practices, exPar.Practices) {
+		t.Fatalf("concurrent extraction diverged:\nseq: %+v\npar: %+v", exSeq.Practices, exPar.Practices)
+	}
+	if seq.Stats != par.Stats {
+		t.Errorf("stats diverged: %+v vs %+v", seq.Stats, par.Stats)
+	}
+}
+
+func TestConcurrentExtractionDegradesOnFailures(t *testing.T) {
+	// A flaky client failing every 4th call: both modes degrade, never
+	// panic, and record errors. (Counts differ across modes because the
+	// company prompt consumes one call in sequence.)
+	par := New(&llm.FlakyClient{Inner: llm.NewSim(), EveryN: 4})
+	par.Concurrency = 4
+	ex, err := par.ExtractPolicy(context.Background(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats.Errors == 0 {
+		t.Error("no errors recorded under failure injection")
+	}
+	if len(ex.Practices) == 0 {
+		t.Error("all practices lost")
+	}
+}
+
+func TestConcurrentExtractionContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(llm.NewSim())
+	e.Concurrency = 4
+	cancel()
+	if _, err := e.ExtractPolicy(ctx, policy); err == nil {
+		t.Error("cancelled context should fail")
+	}
+}

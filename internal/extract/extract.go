@@ -1,0 +1,271 @@
+// Package extract implements Phase 1 of the pipeline: company-name
+// extraction, coreference resolution, segmentation and LLM-based semantic
+// role extraction — Algorithm 1 lines 1–10. Each extracted data practice
+// carries its source segment ID so Phase 2 can update the graph
+// incrementally when the policy changes.
+package extract
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/segment"
+)
+
+// Practice is one extracted data practice: the six semantic roles plus
+// provenance, detected vague terms, and the OPP-115 categories of its
+// source statement (Algorithm 1 line 8, Match(s, T)).
+type Practice struct {
+	llm.ParamSet
+	// SegmentID identifies the policy segment the practice came from.
+	SegmentID string `json:"segment_id"`
+	// VagueTerms lists the undefined condition fragments to surface as
+	// uninterpreted predicates.
+	VagueTerms []string `json:"vague_terms,omitempty"`
+	// OPPCategories are the OPP-115 top-level categories matched against
+	// the source statement.
+	OPPCategories []string `json:"opp_categories,omitempty"`
+}
+
+// Extraction is the Phase 1 output for one policy version.
+type Extraction struct {
+	// Company is the extracted organization name.
+	Company string `json:"company"`
+	// Segments are the policy's statements in order.
+	Segments []segment.Segment `json:"segments"`
+	// Practices are all extracted data practices.
+	Practices []Practice `json:"practices"`
+	// BySegment indexes practices by segment ID.
+	BySegment map[string][]Practice `json:"-"`
+}
+
+// Stats reports extraction effort.
+type Stats struct {
+	// Segments counts statements processed.
+	Segments int
+	// Practices counts extracted parameter sets.
+	Practices int
+	// LLMCalls counts model invocations.
+	LLMCalls int
+	// Errors counts segments whose extraction failed (skipped with
+	// degradation, as production pipelines must).
+	Errors int
+}
+
+// Extractor runs Phase 1 against a language model.
+type Extractor struct {
+	// Client is the language model; required.
+	Client llm.Client
+	// Concurrency is the number of segments extracted in parallel; values
+	// below 2 select sequential extraction. The model client must be safe
+	// for concurrent use (SimLLM and all middleware are).
+	Concurrency int
+	// Stats accumulates counters across calls.
+	Stats Stats
+}
+
+// New returns an extractor over the given client.
+func New(client llm.Client) *Extractor { return &Extractor{Client: client} }
+
+// CompanyName extracts the organization name from the policy's opening
+// 1000 characters (Algorithm 1 line 2).
+func (e *Extractor) CompanyName(ctx context.Context, policy string) (string, error) {
+	e.Stats.LLMCalls++
+	resp, err := e.Client.Complete(ctx, llm.CompanyNamePrompt(policy))
+	if err != nil {
+		return "", fmt.Errorf("extract: company name: %w", err)
+	}
+	var out struct {
+		Company string `json:"company"`
+	}
+	if err := json.Unmarshal([]byte(resp.Text), &out); err != nil || out.Company == "" {
+		return "", fmt.Errorf("extract: company name: %w: %q", llm.ErrMalformedOutput, resp.Text)
+	}
+	return out.Company, nil
+}
+
+// ResolveCoreferences replaces first-person references ("we", "us", "our")
+// with the company name (Algorithm 1 line 3). Replacement is word-boundary
+// aware and case-insensitive.
+func ResolveCoreferences(text, company string) string {
+	if company == "" {
+		return text
+	}
+	var b strings.Builder
+	b.Grow(len(text))
+	i := 0
+	for i < len(text) {
+		j := i
+		for j < len(text) && isLetter(text[j]) {
+			j++
+		}
+		if j == i {
+			b.WriteByte(text[i])
+			i++
+			continue
+		}
+		word := text[i:j]
+		switch strings.ToLower(word) {
+		case "we", "us":
+			b.WriteString(company)
+		case "our":
+			b.WriteString(company + "'s")
+		case "ourselves":
+			b.WriteString(company)
+		default:
+			b.WriteString(word)
+		}
+		i = j
+	}
+	return b.String()
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// ExtractSegment extracts the data practices of one coreference-resolved
+// segment (Algorithm 1 line 7).
+func (e *Extractor) ExtractSegment(ctx context.Context, company string, seg segment.Segment) ([]Practice, error) {
+	e.Stats.LLMCalls++
+	return e.extractOne(ctx, company, seg)
+}
+
+// ExtractPolicy runs full Phase 1 over a policy text: company name,
+// segmentation, per-segment extraction. Segments whose extraction fails are
+// counted and skipped rather than aborting the run.
+func (e *Extractor) ExtractPolicy(ctx context.Context, policy string) (*Extraction, error) {
+	company, err := e.CompanyName(ctx, policy)
+	if err != nil {
+		return nil, err
+	}
+	segs := segment.Split(policy)
+	ex := &Extraction{
+		Company:   company,
+		Segments:  segs,
+		BySegment: map[string][]Practice{},
+	}
+	results, errs := e.extractAll(ctx, company, segs)
+	for i, seg := range segs {
+		e.Stats.Segments++
+		if errs[i] != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			e.Stats.Errors++
+			continue
+		}
+		ps := results[i]
+		e.Stats.Practices += len(ps)
+		ex.Practices = append(ex.Practices, ps...)
+		// Record even practice-free segments so incremental re-extraction
+		// recognizes them as already processed.
+		ex.BySegment[seg.ID] = ps
+	}
+	return ex, nil
+}
+
+// extractAll runs per-segment extraction, fanning out across a bounded
+// worker pool when Concurrency >= 2. Results are positionally aligned with
+// segs so output order is deterministic regardless of scheduling.
+func (e *Extractor) extractAll(ctx context.Context, company string, segs []segment.Segment) ([][]Practice, []error) {
+	results := make([][]Practice, len(segs))
+	errs := make([]error, len(segs))
+	workers := e.Concurrency
+	if workers < 2 {
+		for i, seg := range segs {
+			results[i], errs[i] = e.extractOne(ctx, company, seg)
+		}
+		e.Stats.LLMCalls += len(segs)
+		return results, errs
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, seg := range segs {
+		wg.Add(1)
+		go func(i int, seg segment.Segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = e.extractOne(ctx, company, seg)
+		}(i, seg)
+	}
+	wg.Wait()
+	e.Stats.LLMCalls += len(segs)
+	return results, errs
+}
+
+// extractOne is ExtractSegment without stats mutation, safe for concurrent
+// use.
+func (e *Extractor) extractOne(ctx context.Context, company string, seg segment.Segment) ([]Practice, error) {
+	resolved := ResolveCoreferences(seg.Text, company)
+	resp, err := e.Client.Complete(ctx, llm.ExtractParamsPrompt(company, resolved))
+	if err != nil {
+		return nil, fmt.Errorf("extract: segment %s: %w", shortID(seg.ID), err)
+	}
+	var params []llm.ParamSet
+	if err := json.Unmarshal([]byte(resp.Text), &params); err != nil {
+		return nil, fmt.Errorf("extract: segment %s: %w: %q", shortID(seg.ID), llm.ErrMalformedOutput, resp.Text)
+	}
+	categories := corpus.MatchOPP115(seg.Text)
+	out := make([]Practice, 0, len(params))
+	for _, p := range params {
+		out = append(out, Practice{
+			ParamSet:      p,
+			SegmentID:     seg.ID,
+			VagueTerms:    llm.VagueTerms(p.Condition),
+			OPPCategories: categories,
+		})
+	}
+	return out, nil
+}
+
+// ReExtract updates a previous extraction for a new policy version,
+// re-running the model only on added segments (the paper's diff-based
+// incremental processing). It returns the new extraction and the diff.
+func (e *Extractor) ReExtract(ctx context.Context, prev *Extraction, newPolicy string) (*Extraction, segment.Diff, error) {
+	company, err := e.CompanyName(ctx, newPolicy)
+	if err != nil {
+		return nil, segment.Diff{}, err
+	}
+	newSegs := segment.Split(newPolicy)
+	diff := segment.Compare(prev.Segments, newSegs)
+	ex := &Extraction{
+		Company:   company,
+		Segments:  newSegs,
+		BySegment: map[string][]Practice{},
+	}
+	for _, seg := range newSegs {
+		if prevPs, ok := prev.BySegment[seg.ID]; ok && company == prev.Company {
+			// Unchanged segment: reuse prior practices without an LLM call.
+			ex.Practices = append(ex.Practices, prevPs...)
+			ex.BySegment[seg.ID] = prevPs
+			continue
+		}
+		e.Stats.Segments++
+		ps, err := e.ExtractSegment(ctx, company, seg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, diff, ctx.Err()
+			}
+			e.Stats.Errors++
+			continue
+		}
+		e.Stats.Practices += len(ps)
+		ex.Practices = append(ex.Practices, ps...)
+		ex.BySegment[seg.ID] = ps
+	}
+	return ex, diff, nil
+}
+
+func shortID(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}

@@ -1,0 +1,142 @@
+package extract
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+)
+
+// PracticeChange describes one practice-level difference between policy
+// versions.
+type PracticeChange struct {
+	// Action and DataType identify the practice (normalized).
+	Action   string `json:"action"`
+	DataType string `json:"data_type"`
+	// Kind is "added", "removed", "now-denied", "now-allowed" or
+	// "condition-changed".
+	Kind string `json:"kind"`
+	// OldCondition and NewCondition hold condition changes.
+	OldCondition string `json:"old_condition,omitempty"`
+	NewCondition string `json:"new_condition,omitempty"`
+}
+
+// VersionReport is the §5 policy-author deliverable: the semantic
+// difference between two policy versions at practice granularity,
+// including permission flips — the cross-version contradictions a diff of
+// raw text cannot see.
+type VersionReport struct {
+	// Changes lists practice-level differences, sorted for determinism.
+	Changes []PracticeChange `json:"changes"`
+	// PermissionFlips counts allow/deny reversals — candidate
+	// cross-version contradictions for legal review.
+	PermissionFlips int `json:"permission_flips"`
+}
+
+// practiceKey normalizes the identity of a practice.
+func practiceKey(p Practice) string {
+	action := nlp.VerbBase(firstWordOf(p.Action))
+	return action + "\x1f" + nlp.CanonicalTerm(p.DataType)
+}
+
+func firstWordOf(s string) string {
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// practiceState summarizes all statements about one practice in a version.
+type practiceState struct {
+	allowed, denied bool
+	conditions      map[string]bool
+}
+
+func summarize(ex *Extraction) map[string]*practiceState {
+	out := map[string]*practiceState{}
+	for _, p := range ex.Practices {
+		key := practiceKey(p)
+		st := out[key]
+		if st == nil {
+			st = &practiceState{conditions: map[string]bool{}}
+			out[key] = st
+		}
+		if p.Permission == "deny" {
+			st.denied = true
+		} else {
+			st.allowed = true
+		}
+		if p.Condition != "" {
+			st.conditions[p.Condition] = true
+		}
+	}
+	return out
+}
+
+// CompareVersions computes the practice-level difference between two
+// extractions of the same policy lineage.
+func CompareVersions(old, new *Extraction) VersionReport {
+	oldState := summarize(old)
+	newState := summarize(new)
+	var report VersionReport
+
+	keys := map[string]bool{}
+	for k := range oldState {
+		keys[k] = true
+	}
+	for k := range newState {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for _, k := range sorted {
+		parts := strings.SplitN(k, "\x1f", 2)
+		action, dataType := parts[0], parts[1]
+		o, haveOld := oldState[k]
+		n, haveNew := newState[k]
+		switch {
+		case !haveOld:
+			report.Changes = append(report.Changes, PracticeChange{
+				Action: action, DataType: dataType, Kind: "added",
+			})
+		case !haveNew:
+			report.Changes = append(report.Changes, PracticeChange{
+				Action: action, DataType: dataType, Kind: "removed",
+			})
+		default:
+			if o.allowed && !o.denied && n.denied && !n.allowed {
+				report.Changes = append(report.Changes, PracticeChange{
+					Action: action, DataType: dataType, Kind: "now-denied",
+				})
+				report.PermissionFlips++
+			} else if o.denied && !o.allowed && n.allowed && !n.denied {
+				report.Changes = append(report.Changes, PracticeChange{
+					Action: action, DataType: dataType, Kind: "now-allowed",
+				})
+				report.PermissionFlips++
+			} else if oc, nc := joinConds(o.conditions), joinConds(n.conditions); oc != nc {
+				report.Changes = append(report.Changes, PracticeChange{
+					Action: action, DataType: dataType, Kind: "condition-changed",
+					OldCondition: oc, NewCondition: nc,
+				})
+			}
+		}
+	}
+	return report
+}
+
+func joinConds(m map[string]bool) string {
+	if len(m) == 0 {
+		return ""
+	}
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return strings.Join(out, " | ")
+}

@@ -1,0 +1,93 @@
+package extract
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+)
+
+func extractText(t *testing.T, text string) *Extraction {
+	t.Helper()
+	e := New(llm.NewSim())
+	ex, err := e.ExtractPolicy(context.Background(), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+const v1Policy = `# Acme Privacy Policy
+
+Acme ("we") explains its practices.
+
+## Practices
+
+We collect your email address.
+
+We share your gps location with mapping services.
+
+We do not sell your browsing history.`
+
+func TestCompareVersionsNoChanges(t *testing.T) {
+	ex := extractText(t, v1Policy)
+	rep := CompareVersions(ex, ex)
+	if len(rep.Changes) != 0 || rep.PermissionFlips != 0 {
+		t.Errorf("identical versions: %+v", rep)
+	}
+}
+
+func TestCompareVersionsAddRemove(t *testing.T) {
+	v2 := strings.Replace(v1Policy,
+		"We collect your email address.",
+		"We collect your phone number.", 1)
+	rep := CompareVersions(extractText(t, v1Policy), extractText(t, v2))
+	kinds := map[string]string{}
+	for _, c := range rep.Changes {
+		kinds[c.DataType] = c.Kind
+	}
+	if kinds["email address"] != "removed" {
+		t.Errorf("email change = %q (%+v)", kinds["email address"], rep.Changes)
+	}
+	if kinds["phone number"] != "added" {
+		t.Errorf("phone change = %q", kinds["phone number"])
+	}
+}
+
+func TestCompareVersionsPermissionFlip(t *testing.T) {
+	// v2 reverses the sale stance: the classic cross-version
+	// contradiction a text diff cannot classify.
+	v2 := strings.Replace(v1Policy,
+		"We do not sell your browsing history.",
+		"We sell your browsing history.", 1)
+	rep := CompareVersions(extractText(t, v1Policy), extractText(t, v2))
+	if rep.PermissionFlips != 1 {
+		t.Fatalf("flips = %d (%+v)", rep.PermissionFlips, rep.Changes)
+	}
+	found := false
+	for _, c := range rep.Changes {
+		if c.Kind == "now-allowed" && c.Action == "sell" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("now-allowed flip missing: %+v", rep.Changes)
+	}
+}
+
+func TestCompareVersionsConditionChange(t *testing.T) {
+	v2 := strings.Replace(v1Policy,
+		"We share your gps location with mapping services.",
+		"We share your gps location with mapping services if you enable the feature.", 1)
+	rep := CompareVersions(extractText(t, v1Policy), extractText(t, v2))
+	found := false
+	for _, c := range rep.Changes {
+		if c.Kind == "condition-changed" && strings.Contains(c.NewCondition, "enable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("condition change missing: %+v", rep.Changes)
+	}
+}

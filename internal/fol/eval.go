@@ -1,0 +1,163 @@
+package fol
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interp is a finite interpretation for evaluating formulas: a domain of
+// constant names, truth values for ground atoms, and (optionally) function
+// tables. It is used by property tests to check that transformations
+// preserve semantics, and by the query engine's fast path for ground
+// formulas.
+type Interp struct {
+	// Domain lists the individuals; quantifiers range over it.
+	Domain []string
+	// Truth maps a ground atom's String() rendering to its value. Atoms
+	// absent from the map are false.
+	Truth map[string]bool
+	// Funcs maps a ground application's String() rendering to the constant
+	// it denotes. Absent applications denote themselves (free term algebra).
+	Funcs map[string]string
+}
+
+// NewInterp creates an interpretation over the given domain.
+func NewInterp(domain ...string) *Interp {
+	sort.Strings(domain)
+	return &Interp{Domain: domain, Truth: map[string]bool{}, Funcs: map[string]string{}}
+}
+
+// SetTrue marks the ground atom p(args...) true.
+func (in *Interp) SetTrue(p string, args ...Term) {
+	in.Truth[Pred(p, args...).String()] = true
+}
+
+// evalTerm reduces a ground term to the constant it denotes.
+func (in *Interp) evalTerm(t Term, env map[string]string) (string, error) {
+	switch t.Kind {
+	case TermVar:
+		if v, ok := env[t.Name]; ok {
+			return v, nil
+		}
+		return "", fmt.Errorf("fol: unbound variable %q in evaluation", t.Name)
+	case TermConst:
+		return t.Name, nil
+	case TermApp:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			v, err := in.evalTerm(a, env)
+			if err != nil {
+				return "", err
+			}
+			args[i] = Const(v)
+		}
+		key := Term{Kind: TermApp, Name: t.Name, Args: args}.String()
+		if v, ok := in.Funcs[key]; ok {
+			return v, nil
+		}
+		return key, nil
+	default:
+		return "", fmt.Errorf("fol: bad term kind %d", t.Kind)
+	}
+}
+
+// Eval evaluates f under the interpretation with the given variable
+// environment (may be nil for sentences). Quantifiers range over Domain.
+func (in *Interp) Eval(f *Formula, env map[string]string) (bool, error) {
+	if env == nil {
+		env = map[string]string{}
+	}
+	switch f.Op {
+	case OpTrue:
+		return true, nil
+	case OpFalse:
+		return false, nil
+	case OpPred:
+		args := make([]Term, len(f.Terms))
+		for i, t := range f.Terms {
+			v, err := in.evalTerm(t, env)
+			if err != nil {
+				return false, err
+			}
+			args[i] = Const(v)
+		}
+		return in.Truth[Pred(f.Pred, args...).String()], nil
+	case OpEq:
+		a, err := in.evalTerm(f.Terms[0], env)
+		if err != nil {
+			return false, err
+		}
+		b, err := in.evalTerm(f.Terms[1], env)
+		if err != nil {
+			return false, err
+		}
+		return a == b, nil
+	case OpNot:
+		v, err := in.Eval(f.Sub[0], env)
+		return !v, err
+	case OpAnd:
+		for _, s := range f.Sub {
+			v, err := in.Eval(s, env)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case OpOr:
+		for _, s := range f.Sub {
+			v, err := in.Eval(s, env)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case OpImplies:
+		p, err := in.Eval(f.Sub[0], env)
+		if err != nil {
+			return false, err
+		}
+		if !p {
+			return true, nil
+		}
+		return in.Eval(f.Sub[1], env)
+	case OpIff:
+		p, err := in.Eval(f.Sub[0], env)
+		if err != nil {
+			return false, err
+		}
+		q, err := in.Eval(f.Sub[1], env)
+		return p == q, err
+	case OpForall, OpExists:
+		saved, had := env[f.Bound]
+		for _, d := range in.Domain {
+			env[f.Bound] = d
+			v, err := in.Eval(f.Sub[0], env)
+			if err != nil {
+				return false, err
+			}
+			if f.Op == OpForall && !v {
+				restoreEnv(env, f.Bound, saved, had)
+				return false, nil
+			}
+			if f.Op == OpExists && v {
+				restoreEnv(env, f.Bound, saved, had)
+				return true, nil
+			}
+		}
+		restoreEnv(env, f.Bound, saved, had)
+		return f.Op == OpForall, nil
+	default:
+		return false, fmt.Errorf("fol: eval of bad op %d", f.Op)
+	}
+}
+
+func restoreEnv(env map[string]string, k, saved string, had bool) {
+	if had {
+		env[k] = saved
+	} else {
+		delete(env, k)
+	}
+}

@@ -1,0 +1,264 @@
+package fol
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse reads a formula in the textual syntax produced by Formula.String:
+//
+//	⊤ ⊥ p(x,a) (a = b) ¬φ (φ ∧ ψ ∧ ...) (φ ∨ ψ) (φ → ψ) (φ ↔ ψ) ∀x. φ ∃x. φ
+//
+// ASCII aliases are accepted: true/false, !, &, |, ->, <->, forall x., and
+// exists x. Identifiers starting with a lowercase letter followed by '('
+// are predicate/function applications; bare identifiers are constants,
+// except single letters u-z (optionally suffixed), which parse as
+// variables when bound and as constants otherwise — to avoid ambiguity the
+// parser treats any identifier bound by an enclosing quantifier as a
+// variable and everything else as a constant.
+func Parse(src string) (*Formula, error) {
+	p := &folParser{src: src}
+	f, err := p.parseFormula(map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("fol: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return f, nil
+}
+
+type folParser struct {
+	src string
+	pos int
+}
+
+func (p *folParser) skipSpace() {
+	for p.pos < len(p.src) {
+		r, size := decodeParseRune(p.src[p.pos:])
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.pos += size
+	}
+}
+
+func decodeParseRune(s string) (rune, int) {
+	return utf8.DecodeRuneInString(s)
+}
+
+func (p *folParser) peek() rune {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	r, _ := decodeParseRune(p.src[p.pos:])
+	return r
+}
+
+func (p *folParser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *folParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, size := decodeParseRune(p.src[p.pos:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#' {
+			p.pos += size
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("fol: expected identifier at %d", start)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseFormula parses one formula; bound tracks quantified variables.
+func (p *folParser) parseFormula(bound map[string]bool) (*Formula, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("⊤") || p.eat("true"):
+		return True(), nil
+	case p.eat("⊥") || p.eat("false"):
+		return False(), nil
+	case p.eat("¬") || p.eat("!"):
+		f, err := p.parseFormula(bound)
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case p.eat("∀") || p.eat("forall "):
+		return p.parseQuant(OpForall, bound)
+	case p.eat("∃") || p.eat("exists "):
+		return p.parseQuant(OpExists, bound)
+	case p.peek() == '(':
+		return p.parseParenthesized(bound)
+	default:
+		return p.parseAtom(bound)
+	}
+}
+
+func (p *folParser) parseQuant(op Op, bound map[string]bool) (*Formula, error) {
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eat(".") {
+		return nil, fmt.Errorf("fol: expected '.' after binder %q at %d", v, p.pos)
+	}
+	was := bound[v]
+	bound[v] = true
+	body, err := p.parseFormula(bound)
+	bound[v] = was
+	if err != nil {
+		return nil, err
+	}
+	return &Formula{Op: op, Bound: v, Sub: []*Formula{body}}, nil
+}
+
+// parseParenthesized handles (φ op ψ ...) and (t = u).
+func (p *folParser) parseParenthesized(bound map[string]bool) (*Formula, error) {
+	if !p.eat("(") {
+		return nil, fmt.Errorf("fol: expected '(' at %d", p.pos)
+	}
+	// Try term equality first: (t = u).
+	save := p.pos
+	if t, err := p.parseTerm(bound); err == nil {
+		if p.eat("=") && !p.eat(">") { // guard against ASCII "=>"
+			u, err := p.parseTerm(bound)
+			if err != nil {
+				return nil, err
+			}
+			if !p.eat(")") {
+				return nil, fmt.Errorf("fol: expected ')' at %d", p.pos)
+			}
+			return Eq(t, u), nil
+		}
+		_ = t
+	}
+	p.pos = save
+
+	first, err := p.parseFormula(bound)
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Formula{first}
+	var op Op = -1
+	for {
+		p.skipSpace()
+		var this Op = -1
+		switch {
+		case p.eat("∧") || p.eat("&"):
+			this = OpAnd
+		case p.eat("∨") || p.eat("|"):
+			this = OpOr
+		case p.eat("→") || p.eat("->"):
+			this = OpImplies
+		case p.eat("↔") || p.eat("<->"):
+			this = OpIff
+		case p.eat(")"):
+			switch {
+			case op == -1:
+				return first, nil
+			case op == OpAnd:
+				return And(subs...), nil
+			case op == OpOr:
+				return Or(subs...), nil
+			case op == OpImplies:
+				if len(subs) != 2 {
+					return nil, fmt.Errorf("fol: → is binary")
+				}
+				return Implies(subs[0], subs[1]), nil
+			default:
+				if len(subs) != 2 {
+					return nil, fmt.Errorf("fol: ↔ is binary")
+				}
+				return Iff(subs[0], subs[1]), nil
+			}
+		default:
+			return nil, fmt.Errorf("fol: expected connective or ')' at %d", p.pos)
+		}
+		if op != -1 && this != op {
+			return nil, fmt.Errorf("fol: mixed connectives without parentheses at %d", p.pos)
+		}
+		op = this
+		next, err := p.parseFormula(bound)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+}
+
+func (p *folParser) parseAtom(bound map[string]bool) (*Formula, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != '(' {
+		return Pred(name), nil
+	}
+	p.eat("(")
+	var args []Term
+	if p.peek() != ')' {
+		for {
+			t, err := p.parseTerm(bound)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+			if p.eat(",") {
+				continue
+			}
+			break
+		}
+	}
+	if !p.eat(")") {
+		return nil, fmt.Errorf("fol: expected ')' at %d", p.pos)
+	}
+	return Pred(name, args...), nil
+}
+
+func (p *folParser) parseTerm(bound map[string]bool) (Term, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	if p.peek() == '(' {
+		p.eat("(")
+		var args []Term
+		if p.peek() != ')' {
+			for {
+				t, err := p.parseTerm(bound)
+				if err != nil {
+					return Term{}, err
+				}
+				args = append(args, t)
+				if p.eat(",") {
+					continue
+				}
+				break
+			}
+		}
+		if !p.eat(")") {
+			return Term{}, fmt.Errorf("fol: expected ')' in term at %d", p.pos)
+		}
+		return App(name, args...), nil
+	}
+	if bound[name] {
+		return Var(name), nil
+	}
+	return Const(name), nil
+}

@@ -1,0 +1,124 @@
+package fol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := map[string]string{
+		"⊤":                        "⊤",
+		"true":                     "⊤",
+		"⊥":                        "⊥",
+		"p":                        "p",
+		"p(a)":                     "p(a)",
+		"p(a,b)":                   "p(a,b)",
+		"¬p":                       "¬p",
+		"!p":                       "¬p",
+		"(p ∧ q)":                  "(p ∧ q)",
+		"(p & q & r)":              "(p ∧ q ∧ r)",
+		"(p | q)":                  "(p ∨ q)",
+		"(p -> q)":                 "(p → q)",
+		"(p <-> q)":                "(p ↔ q)",
+		"(a = b)":                  "(a = b)",
+		"∀x. p(x)":                 "∀x. p(x)",
+		"forall x. p(x)":           "∀x. p(x)",
+		"exists y. (p(y) & q)":     "∃y. (p(y) ∧ q)",
+		"∀x. ∃y. p(x,y)":           "∀x. ∃y. p(x,y)",
+		"p(f(a),g(x))":             "p(f(a),g(x))",
+		"((p ∧ q) ∨ ¬r)":           "((p ∧ q) ∨ ¬r)",
+		"∀x. (user(x) → share(x))": "∀x. (user(x) → share(x))",
+		"(f(a) = g(b))":            "(f(a) = g(b))",
+	}
+	for src, want := range cases {
+		got, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if got.String() != want {
+			t.Errorf("Parse(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseBoundVariables(t *testing.T) {
+	f, err := Parse("∀x. p(x,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atom := f.Sub[0]
+	if atom.Terms[0].Kind != TermVar {
+		t.Error("bound x parsed as constant")
+	}
+	if atom.Terms[1].Kind != TermConst {
+		t.Error("free c parsed as variable")
+	}
+	// Shadowing restores after quantifier scope.
+	g, err := Parse("(∀x. p(x) ∧ q(x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sub[1].Terms[0].Kind != TermConst {
+		t.Error("x outside binder should be a constant")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "(", "(p", "(p ∧", "(p ∧ q ∨ r)", "∀x p(x)", "p(a", "(p -> q -> r)",
+		"p) extra", "(a = )",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// Property: String -> Parse round-trips random formulas up to structural
+// equality.
+func TestParseRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		f := randomQuantFormula(r, 3, nil)
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", f.String(), err)
+		}
+		if !g.Equal(f) {
+			t.Fatalf("round trip: %s != %s", g, f)
+		}
+	}
+}
+
+// randomQuantFormula extends the random generator with quantifiers over
+// variables in scope.
+func randomQuantFormula(r *rand.Rand, depth int, scope []string) *Formula {
+	if depth <= 0 {
+		var args []Term
+		if len(scope) > 0 && r.Intn(2) == 0 {
+			args = append(args, Var(scope[r.Intn(len(scope))]))
+		} else {
+			args = append(args, Const("c"+string(rune('a'+r.Intn(3)))))
+		}
+		return Pred("p"+string(rune('a'+r.Intn(3))), args...)
+	}
+	switch r.Intn(7) {
+	case 0:
+		return Not(randomQuantFormula(r, depth-1, scope))
+	case 1:
+		return And(randomQuantFormula(r, depth-1, scope), randomQuantFormula(r, depth-1, scope))
+	case 2:
+		return Or(randomQuantFormula(r, depth-1, scope), randomQuantFormula(r, depth-1, scope))
+	case 3:
+		return Implies(randomQuantFormula(r, depth-1, scope), randomQuantFormula(r, depth-1, scope))
+	case 4:
+		return Iff(randomQuantFormula(r, depth-1, scope), randomQuantFormula(r, depth-1, scope))
+	case 5:
+		v := "v" + string(rune('0'+len(scope)))
+		return Forall(v, randomQuantFormula(r, depth-1, append(scope, v)))
+	default:
+		v := "w" + string(rune('0'+len(scope)))
+		return Exists(v, randomQuantFormula(r, depth-1, append(scope, v)))
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format: entities as boxes, data
+// objects as ellipses, deny edges dashed red, conditional edges annotated.
+// Output is deterministic (nodes sorted, edges in insertion order).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", dotID(name))
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+	for _, n := range g.Nodes() {
+		shape := "ellipse"
+		if n.Kind == "entity" {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  %s [label=%q shape=%s];\n", dotID(n.ID), n.ID, shape)
+	}
+	for _, e := range g.edges {
+		attrs := []string{fmt.Sprintf("label=%q", e.Label)}
+		if e.Permission == "deny" {
+			attrs = append(attrs, "style=dashed", "color=red")
+		}
+		if e.Condition != "" {
+			attrs = append(attrs, fmt.Sprintf("tooltip=%q", "when "+e.Condition))
+		}
+		fmt.Fprintf(&b, "  %s -> %s [%s];\n", dotID(e.From), dotID(e.To), strings.Join(attrs, " "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the hierarchy as a Graphviz tree.
+func (h *Hierarchy) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", dotID(name))
+	b.WriteString("  node [fontsize=10 shape=ellipse];\n")
+	terms := h.Terms()
+	sort.Strings(terms)
+	for _, t := range terms {
+		fmt.Fprintf(&b, "  %s [label=%q];\n", dotID(t), t)
+	}
+	for _, t := range terms {
+		if p, ok := h.Parent(t); ok {
+			fmt.Fprintf(&b, "  %s -> %s;\n", dotID(p), dotID(t))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotID sanitizes a term into a dot identifier.
+func dotID(s string) string {
+	if s == "" {
+		return "_empty"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "n" + out
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package graph provides the directed labeled multigraph and hierarchy
+// structures underlying the pipeline's knowledge representation: the
+// entity–data graph (who performs which actions on what data, with
+// condition predicates on edges) and the subsumption hierarchies produced
+// by Chain-of-Layer taxonomy induction.
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Node is a graph vertex.
+type Node struct {
+	// ID is the canonical term identifying the node.
+	ID string `json:"id"`
+	// Kind classifies the node ("entity", "data", "category", ...).
+	Kind string `json:"kind,omitempty"`
+	// Attrs holds optional metadata.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Edge is a directed labeled edge. Multiple edges may connect the same
+// node pair with different labels or conditions.
+type Edge struct {
+	// From and To are node IDs.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Label is the edge relation (for the entity–data graph, the action).
+	Label string `json:"label"`
+	// Condition is the boolean predicate attached to the edge, empty for
+	// unconditional edges.
+	Condition string `json:"condition,omitempty"`
+	// Permission is "allow" or "deny".
+	Permission string `json:"permission,omitempty"`
+	// Subject is whose data flows on this edge.
+	Subject string `json:"subject,omitempty"`
+	// Other is the third participant when the edge's actor and object do
+	// not tell the whole story: the receiver of an outbound share, or the
+	// source of an inbound collection.
+	Other string `json:"other,omitempty"`
+	// SegmentID ties the edge back to the policy segment it came from,
+	// enabling branch-local incremental updates.
+	SegmentID string `json:"segment_id,omitempty"`
+}
+
+// Key returns a string uniquely identifying the edge's content.
+func (e Edge) Key() string {
+	return fmt.Sprintf("%s\x1f%s\x1f%s\x1f%s\x1f%s\x1f%s\x1f%s", e.From, e.To, e.Label, e.Condition, e.Permission, e.Subject, e.Other)
+}
+
+// String renders the edge in the paper's [from]-label->[to] notation.
+func (e Edge) String() string {
+	return fmt.Sprintf("[%s]-%s->[%s]", e.From, e.Label, e.To)
+}
+
+// Graph is a directed labeled multigraph. The zero value is not ready;
+// use New.
+type Graph struct {
+	nodes map[string]*Node
+	// out and in index edges by endpoint.
+	out map[string][]*Edge
+	in  map[string][]*Edge
+	// edges stores all edges in insertion order, deduplicated by Key+Segment.
+	edges   []*Edge
+	edgeSet map[string]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:   map[string]*Node{},
+		out:     map[string][]*Edge{},
+		in:      map[string][]*Edge{},
+		edgeSet: map[string]bool{},
+	}
+}
+
+// AddNode inserts or updates a node and returns it.
+func (g *Graph) AddNode(id, kind string) *Node {
+	if n, ok := g.nodes[id]; ok {
+		if kind != "" && n.Kind == "" {
+			n.Kind = kind
+		}
+		return n
+	}
+	n := &Node{ID: id, Kind: kind}
+	g.nodes[id] = n
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(id string) bool { return g.nodes[id] != nil }
+
+// AddEdge inserts an edge, creating endpoints as needed. Exact duplicates
+// (same key and segment) are ignored. It returns the stored edge.
+func (g *Graph) AddEdge(e Edge) *Edge {
+	dedupeKey := e.Key() + "\x1f" + e.SegmentID
+	if g.edgeSet[dedupeKey] {
+		for _, ex := range g.out[e.From] {
+			if ex.Key() == e.Key() && ex.SegmentID == e.SegmentID {
+				return ex
+			}
+		}
+	}
+	g.AddNode(e.From, "")
+	g.AddNode(e.To, "")
+	stored := &e
+	g.edges = append(g.edges, stored)
+	g.edgeSet[dedupeKey] = true
+	g.out[e.From] = append(g.out[e.From], stored)
+	g.in[e.To] = append(g.in[e.To], stored)
+	return stored
+}
+
+// Nodes returns all nodes sorted by ID.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Edges returns all edges in insertion order.
+func (g *Graph) Edges() []*Edge { return g.edges }
+
+// Out returns edges leaving node id.
+func (g *Graph) Out(id string) []*Edge { return g.out[id] }
+
+// In returns edges entering node id.
+func (g *Graph) In(id string) []*Edge { return g.in[id] }
+
+// NumNodes and NumEdges report sizes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of stored edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// RemoveSegment deletes every edge contributed by the given segment and
+// any nodes left isolated, implementing branch-local incremental updates.
+func (g *Graph) RemoveSegment(segID string) int {
+	removed := 0
+	var kept []*Edge
+	for _, e := range g.edges {
+		if e.SegmentID == segID {
+			removed++
+			delete(g.edgeSet, e.Key()+"\x1f"+e.SegmentID)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		return 0
+	}
+	g.edges = kept
+	// Rebuild endpoint indexes.
+	g.out = map[string][]*Edge{}
+	g.in = map[string][]*Edge{}
+	touched := map[string]bool{}
+	for _, e := range g.edges {
+		g.out[e.From] = append(g.out[e.From], e)
+		g.in[e.To] = append(g.in[e.To], e)
+		touched[e.From] = true
+		touched[e.To] = true
+	}
+	for id := range g.nodes {
+		if !touched[id] {
+			delete(g.nodes, id)
+		}
+	}
+	return removed
+}
+
+// Neighborhood returns the set of node IDs reachable from start within
+// depth hops, ignoring direction.
+func (g *Graph) Neighborhood(start string, depth int) map[string]bool {
+	seen := map[string]bool{}
+	if !g.HasNode(start) {
+		return seen
+	}
+	frontier := []string{start}
+	seen[start] = true
+	for d := 0; d < depth; d++ {
+		var next []string
+		for _, id := range frontier {
+			for _, e := range g.out[id] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[id] {
+				if !seen[e.From] {
+					seen[e.From] = true
+					next = append(next, e.From)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// Subgraph returns a new graph containing only the given nodes and the
+// edges among them.
+func (g *Graph) Subgraph(keep map[string]bool) *Graph {
+	sub := New()
+	for id := range keep {
+		if n := g.nodes[id]; n != nil {
+			node := sub.AddNode(n.ID, n.Kind)
+			node.Attrs = n.Attrs
+		}
+	}
+	for _, e := range g.edges {
+		if keep[e.From] && keep[e.To] {
+			sub.AddEdge(*e)
+		}
+	}
+	return sub
+}
+
+// jsonGraph is the serialization envelope.
+type jsonGraph struct {
+	Nodes []*Node `json:"nodes"`
+	Edges []*Edge `json:"edges"`
+}
+
+// MarshalJSON serializes nodes and edges deterministically.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	edges := make([]*Edge, len(g.edges))
+	copy(edges, g.edges)
+	return json.Marshal(jsonGraph{Nodes: g.Nodes(), Edges: edges})
+}
+
+// UnmarshalJSON restores a graph serialized with MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	*g = *New()
+	for _, n := range jg.Nodes {
+		node := g.AddNode(n.ID, n.Kind)
+		node.Attrs = n.Attrs
+	}
+	for _, e := range jg.Edges {
+		g.AddEdge(*e)
+	}
+	return nil
+}

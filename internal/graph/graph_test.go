@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	g.AddNode("email", "data")
+	g.AddNode("email", "")
+	if g.NumNodes() != 1 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.Node("email").Kind != "data" {
+		t.Error("kind lost on re-add")
+	}
+}
+
+func TestAddEdgeCreatesNodes(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "user", To: "email", Label: "provide"})
+	if !g.HasNode("user") || !g.HasNode("email") {
+		t.Error("endpoints not created")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestEdgeDedupe(t *testing.T) {
+	g := New()
+	e := Edge{From: "a", To: "b", Label: "share", SegmentID: "s1"}
+	g.AddEdge(e)
+	g.AddEdge(e)
+	if g.NumEdges() != 1 {
+		t.Errorf("duplicate edge stored: %d", g.NumEdges())
+	}
+	// Different condition is a distinct edge.
+	e.Condition = "user consent"
+	g.AddEdge(e)
+	if g.NumEdges() != 2 {
+		t.Errorf("conditioned edge deduped: %d", g.NumEdges())
+	}
+	// Same content from a different segment is also stored (provenance).
+	e2 := Edge{From: "a", To: "b", Label: "share", SegmentID: "s2"}
+	g.AddEdge(e2)
+	if g.NumEdges() != 3 {
+		t.Errorf("cross-segment edge deduped: %d", g.NumEdges())
+	}
+}
+
+func TestOutIn(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "tiktak", To: "email", Label: "collect"})
+	g.AddEdge(Edge{From: "tiktak", To: "cookie", Label: "collect"})
+	g.AddEdge(Edge{From: "user", To: "email", Label: "provide"})
+	if len(g.Out("tiktak")) != 2 {
+		t.Errorf("out = %d", len(g.Out("tiktak")))
+	}
+	if len(g.In("email")) != 2 {
+		t.Errorf("in = %d", len(g.In("email")))
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	e := Edge{From: "user", To: "email", Label: "provide"}
+	if e.String() != "[user]-provide->[email]" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestRemoveSegment(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "a", To: "b", Label: "x", SegmentID: "s1"})
+	g.AddEdge(Edge{From: "a", To: "c", Label: "y", SegmentID: "s2"})
+	removed := g.RemoveSegment("s1")
+	if removed != 1 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if g.HasNode("b") {
+		t.Error("isolated node b not removed")
+	}
+	if !g.HasNode("a") || !g.HasNode("c") {
+		t.Error("shared nodes lost")
+	}
+	if g.RemoveSegment("missing") != 0 {
+		t.Error("removing missing segment changed graph")
+	}
+	// The removed edge can be re-added (tombstone cleared).
+	g.AddEdge(Edge{From: "a", To: "b", Label: "x", SegmentID: "s1"})
+	if g.NumEdges() != 2 {
+		t.Errorf("re-add after remove: %d edges", g.NumEdges())
+	}
+}
+
+func TestNeighborhoodAndSubgraph(t *testing.T) {
+	g := New()
+	g.AddEdge(Edge{From: "a", To: "b", Label: "x"})
+	g.AddEdge(Edge{From: "b", To: "c", Label: "y"})
+	g.AddEdge(Edge{From: "c", To: "d", Label: "z"})
+	n1 := g.Neighborhood("b", 1)
+	if len(n1) != 3 { // a, b, c
+		t.Errorf("depth-1 neighborhood = %v", n1)
+	}
+	n0 := g.Neighborhood("b", 0)
+	if len(n0) != 1 {
+		t.Errorf("depth-0 neighborhood = %v", n0)
+	}
+	if len(g.Neighborhood("missing", 2)) != 0 {
+		t.Error("missing start should be empty")
+	}
+	sub := g.Subgraph(n1)
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Errorf("subgraph = %d nodes %d edges", sub.NumNodes(), sub.NumEdges())
+	}
+}
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := New()
+	g.AddNode("email", "data")
+	g.AddEdge(Edge{From: "user", To: "email", Label: "provide", Condition: "user consent", Permission: "allow", SegmentID: "s"})
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g2 Graph
+	if err := json.Unmarshal(data, &g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip: %d/%d nodes, %d/%d edges", g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	if g2.Node("email").Kind != "data" {
+		t.Error("node kind lost")
+	}
+	if g2.Edges()[0].Condition != "user consent" {
+		t.Error("edge condition lost")
+	}
+}
+
+func TestHierarchyBasics(t *testing.T) {
+	h := NewHierarchy("data")
+	mustAdd(t, h, "data", "contact information")
+	mustAdd(t, h, "contact information", "email")
+	mustAdd(t, h, "email", "work email")
+	if !h.Subsumes("data", "work email") {
+		t.Error("root should subsume leaf")
+	}
+	if !h.Subsumes("contact information", "email") {
+		t.Error("direct parent should subsume child")
+	}
+	if h.Subsumes("email", "contact information") {
+		t.Error("child subsumes parent?")
+	}
+	if !h.Subsumes("email", "email") {
+		t.Error("term should subsume itself")
+	}
+	if h.Depth("work email") != 3 || h.Depth("data") != 0 || h.Depth("zzz") != -1 {
+		t.Errorf("depths: %d %d %d", h.Depth("work email"), h.Depth("data"), h.Depth("zzz"))
+	}
+}
+
+func mustAdd(t *testing.T, h *Hierarchy, parent, child string) {
+	t.Helper()
+	if err := h.Add(parent, child); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyUniqueness(t *testing.T) {
+	h := NewHierarchy("data")
+	mustAdd(t, h, "data", "email")
+	if err := h.Add("data", "email"); err == nil {
+		t.Error("duplicate add should fail (CoL uniqueness invariant)")
+	}
+	if err := h.Add("missing parent", "x"); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	if err := h.Add("email", "data"); err == nil {
+		t.Error("adding root as child should fail")
+	}
+}
+
+func TestHierarchyQueries(t *testing.T) {
+	h := NewHierarchy("data")
+	mustAdd(t, h, "data", "contact information")
+	mustAdd(t, h, "contact information", "email")
+	mustAdd(t, h, "contact information", "phone number")
+	desc := h.Descendants("contact information")
+	if len(desc) != 2 {
+		t.Errorf("descendants = %v", desc)
+	}
+	anc := h.Ancestors("email")
+	if len(anc) != 2 || anc[0] != "contact information" || anc[1] != "data" {
+		t.Errorf("ancestors = %v", anc)
+	}
+	kids := h.Children("contact information")
+	if len(kids) != 2 || kids[0] != "email" {
+		t.Errorf("children = %v", kids)
+	}
+	if h.Len() != 4 {
+		t.Errorf("len = %d", h.Len())
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyJSONRoundTrip(t *testing.T) {
+	h := NewHierarchy("data")
+	mustAdd(t, h, "data", "technical data")
+	mustAdd(t, h, "technical data", "cookie")
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h2 Hierarchy
+	if err := json.Unmarshal(data, &h2); err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Subsumes("data", "cookie") || h2.Len() != 3 {
+		t.Errorf("round trip broken: %v", h2.Terms())
+	}
+}
+
+// Property: a randomly grown hierarchy always validates, and Subsumes is
+// antisymmetric for distinct terms.
+func TestHierarchyProperty(t *testing.T) {
+	f := func(parents []uint8) bool {
+		h := NewHierarchy("root")
+		terms := []string{"root"}
+		for i, p := range parents {
+			child := fmt.Sprintf("t%d", i)
+			parent := terms[int(p)%len(terms)]
+			if err := h.Add(parent, child); err != nil {
+				return false
+			}
+			terms = append(terms, child)
+		}
+		if h.Validate() != nil {
+			return false
+		}
+		for _, a := range terms {
+			for _, b := range terms {
+				if a != b && h.Subsumes(a, b) && h.Subsumes(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	g := New()
+	g.AddNode("TikTak", "entity")
+	g.AddNode("email", "data")
+	g.AddEdge(Edge{From: "TikTak", To: "email", Label: "collect", Condition: "you consent"})
+	g.AddEdge(Edge{From: "TikTak", To: "email", Label: "sell", Permission: "deny"})
+	out := g.DOT("policy graph")
+	for _, want := range []string{
+		"digraph policy_graph {",
+		`TikTak [label="TikTak" shape=box]`,
+		`email [label="email" shape=ellipse]`,
+		`label="collect"`,
+		`tooltip="when you consent"`,
+		"style=dashed",
+		"color=red",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic.
+	if out != g.DOT("policy graph") {
+		t.Error("DOT output nondeterministic")
+	}
+}
+
+func TestHierarchyDOT(t *testing.T) {
+	h := NewHierarchy("data")
+	mustAdd(t, h, "data", "contact information")
+	mustAdd(t, h, "contact information", "email")
+	out := h.DOT("data hierarchy")
+	for _, want := range []string{
+		"digraph data_hierarchy {",
+		"data -> contact_information;",
+		"contact_information -> email;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hierarchy DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package htmltext converts HTML privacy policies into the plain-text
+// form the pipeline ingests: headings become markdown "#" lines (so
+// segmentation keeps section context), list items become bullets, block
+// elements become paragraph breaks, scripts/styles are dropped, and
+// entities are decoded. It is a small hand-rolled tokenizer over the
+// standard library only — enough for the well-formed HTML policy pages
+// companies publish, not a general browser parser.
+package htmltext
+
+import (
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// blockTags force paragraph breaks around their content.
+var blockTags = map[string]bool{
+	"p": true, "div": true, "section": true, "article": true, "table": true,
+	"tr": true, "ul": true, "ol": true, "br": true, "blockquote": true,
+	"header": true, "footer": true, "main": true,
+}
+
+// headingLevel maps heading tags to markdown depth.
+var headingLevel = map[string]int{
+	"h1": 1, "h2": 2, "h3": 3, "h4": 4, "h5": 5, "h6": 6,
+}
+
+// skipTags have their entire content dropped.
+var skipTags = map[string]bool{
+	"script": true, "style": true, "noscript": true, "head": true,
+	"nav": true, "svg": true,
+}
+
+// Extract converts an HTML document to pipeline-ready text.
+func Extract(html string) string {
+	var out strings.Builder
+	var text strings.Builder
+	skipDepth := 0
+	headingDepth := 0
+
+	flushParagraph := func() {
+		s := strings.TrimSpace(collapseSpaces(text.String()))
+		text.Reset()
+		if s == "" {
+			return
+		}
+		if headingDepth > 0 {
+			out.WriteString(strings.Repeat("#", headingDepth) + " " + s + "\n\n")
+		} else {
+			out.WriteString(s + "\n\n")
+		}
+	}
+
+	i := 0
+	for i < len(html) {
+		c := html[i]
+		if c != '<' {
+			j := strings.IndexByte(html[i:], '<')
+			if j < 0 {
+				j = len(html) - i
+			}
+			if skipDepth == 0 {
+				text.WriteString(decodeEntities(html[i : i+j]))
+			}
+			i += j
+			continue
+		}
+		// Comment?
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i:], "-->")
+			if end < 0 {
+				break
+			}
+			i += end + 3
+			continue
+		}
+		end := strings.IndexByte(html[i:], '>')
+		if end < 0 {
+			break
+		}
+		tag := html[i+1 : i+end]
+		i += end + 1
+		closing := strings.HasPrefix(tag, "/")
+		name := tagName(tag)
+		switch {
+		case skipTags[name]:
+			if closing {
+				if skipDepth > 0 {
+					skipDepth--
+				}
+			} else if !strings.HasSuffix(tag, "/") {
+				skipDepth++
+			}
+		case headingLevel[name] > 0:
+			flushParagraph()
+			if closing {
+				headingDepth = 0
+			} else {
+				headingDepth = headingLevel[name]
+			}
+		case name == "li":
+			flushParagraph()
+			if !closing {
+				text.WriteString("- ")
+			}
+		case blockTags[name]:
+			flushParagraph()
+		case name == "td" || name == "th":
+			text.WriteByte(' ')
+		}
+	}
+	flushParagraph()
+	return strings.TrimSpace(out.String()) + "\n"
+}
+
+// tagName extracts the lowercase element name from tag innards.
+func tagName(tag string) string {
+	tag = strings.TrimPrefix(tag, "/")
+	for i := 0; i < len(tag); i++ {
+		c := tag[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '/' {
+			return strings.ToLower(tag[:i])
+		}
+	}
+	return strings.ToLower(tag)
+}
+
+// namedEntities covers the entities common in policy pages.
+var namedEntities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "mdash": "—", "ndash": "–", "hellip": "…",
+	"rsquo": "'", "lsquo": "'", "rdquo": "”", "ldquo": "“", "copy": "©",
+}
+
+// decodeEntities decodes named and numeric character references.
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		ref := s[i+1 : i+semi]
+		switch {
+		case strings.HasPrefix(ref, "#x") || strings.HasPrefix(ref, "#X"):
+			if n, err := strconv.ParseInt(ref[2:], 16, 32); err == nil && utf8.ValidRune(rune(n)) {
+				b.WriteRune(rune(n))
+				i += semi + 1
+				continue
+			}
+		case strings.HasPrefix(ref, "#"):
+			if n, err := strconv.ParseInt(ref[1:], 10, 32); err == nil && utf8.ValidRune(rune(n)) {
+				b.WriteRune(rune(n))
+				i += semi + 1
+				continue
+			}
+		default:
+			if rep, ok := namedEntities[ref]; ok {
+				b.WriteString(rep)
+				i += semi + 1
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// collapseSpaces normalizes runs of whitespace to single spaces.
+func collapseSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,117 @@
+package htmltext
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/privacy-quagmire/quagmire/internal/extract"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html><head><title>ignored</title><style>.x{color:red}</style></head>
+<body>
+<nav><a href="/">skip this nav</a></nav>
+<h1>Acme Privacy Policy</h1>
+<p>This Privacy Policy describes how Acme (&quot;we&quot;) handles your information.</p>
+<h2>Information We Collect</h2>
+<p>We collect your email&nbsp;address. We collect device identifiers automatically.</p>
+<ul>
+  <li>We collect crash logs.</li>
+  <li>We collect your IP address.</li>
+</ul>
+<h2>Sharing</h2>
+<p>We share usage data with service providers for legitimate business purposes.</p>
+<script>trackEverything();</script>
+<!-- internal note: do not ship -->
+</body></html>`
+
+func TestExtractStructure(t *testing.T) {
+	text := Extract(samplePage)
+	for _, want := range []string{
+		"# Acme Privacy Policy",
+		"## Information We Collect",
+		`This Privacy Policy describes how Acme ("we") handles your information.`,
+		"We collect your email address.",
+		"- We collect crash logs.",
+		"- We collect your IP address.",
+		"## Sharing",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("extracted text missing %q:\n%s", want, text)
+		}
+	}
+	for _, banned := range []string{"trackEverything", "skip this nav", "color:red", "internal note", "ignored"} {
+		if strings.Contains(text, banned) {
+			t.Errorf("extracted text leaked %q", banned)
+		}
+	}
+}
+
+func TestExtractFeedsPipeline(t *testing.T) {
+	text := Extract(samplePage)
+	e := extract.New(llm.NewSim())
+	ex, err := e.ExtractPolicy(context.Background(), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Company != "Acme" {
+		t.Errorf("company = %q", ex.Company)
+	}
+	if len(ex.Practices) < 5 {
+		t.Errorf("practices = %d: %+v", len(ex.Practices), ex.Practices)
+	}
+	foundVague := false
+	for _, p := range ex.Practices {
+		if len(p.VagueTerms) > 0 {
+			foundVague = true
+		}
+	}
+	if !foundVague {
+		t.Error("vague condition lost through HTML ingestion")
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := map[string]string{
+		"a &amp; b":      "a & b",
+		"&lt;tag&gt;":    "<tag>",
+		"x&nbsp;y":       "x y",
+		"&#65;&#66;":     "AB",
+		"&#x43;":         "C",
+		"&unknown; stay": "&unknown; stay",
+		"no entities":    "no entities",
+		"dangling &":     "dangling &",
+	}
+	for in, want := range cases {
+		if got := decodeEntities(in); got != want {
+			t.Errorf("decodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExtractMalformed(t *testing.T) {
+	for _, src := range []string{
+		"", "<p>unclosed", "no tags at all", "<><><>", "<!-- unterminated",
+		"<p>text<script>evil(", "&#xZZ; weird",
+	} {
+		// Must not panic; result is best-effort text.
+		_ = Extract(src)
+	}
+}
+
+func TestExtractProperty(t *testing.T) {
+	// No output ever contains tags or raw script bodies from skip regions.
+	f := func(body string) bool {
+		if len(body) > 1024 {
+			return true
+		}
+		out := Extract("<p>" + body + "</p><script>SECRET()</script>")
+		return !strings.Contains(out, "SECRET()")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

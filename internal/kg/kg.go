@@ -1,0 +1,298 @@
+// Package kg implements Phase 2 of the pipeline: construction of the
+// entity–data knowledge graph (who performs which actions on what data,
+// with conditions as boolean predicates on edges) and the Chain-of-Layer
+// data and entity hierarchies — Algorithm 1 lines 11–17. Graphs persist
+// across policy versions: segment-tracked edges enable branch-local
+// incremental updates.
+package kg
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/privacy-quagmire/quagmire/internal/extract"
+	"github.com/privacy-quagmire/quagmire/internal/graph"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+	"github.com/privacy-quagmire/quagmire/internal/segment"
+	"github.com/privacy-quagmire/quagmire/internal/taxonomy"
+)
+
+// KnowledgeGraph is the Phase 2 output: the entity–data multigraph plus
+// the two hierarchies.
+type KnowledgeGraph struct {
+	// Company is the policy's organization.
+	Company string `json:"company"`
+	// ED is the entity–data graph: [actor]-action->[object] edges with
+	// condition predicates.
+	ED *graph.Graph `json:"ed"`
+	// DataH organizes data types by subsumption.
+	DataH *graph.Hierarchy `json:"data_hierarchy"`
+	// EntityH organizes entities by subsumption.
+	EntityH *graph.Hierarchy `json:"entity_hierarchy"`
+}
+
+// Stats are the Table 1 extraction statistics.
+type Stats struct {
+	// Nodes is the total node count of the entity–data graph.
+	Nodes int
+	// Edges is the total data-practice edge count.
+	Edges int
+	// Entities is the number of distinct acting/receiving parties.
+	Entities int
+	// DataTypes is the number of distinct data types.
+	DataTypes int
+}
+
+// Stats computes the Table 1 metrics for the graph.
+func (k *KnowledgeGraph) Stats() Stats {
+	entities := map[string]bool{}
+	dataTypes := map[string]bool{}
+	for _, e := range k.ED.Edges() {
+		entities[e.From] = true
+		if e.Other != "" {
+			entities[e.Other] = true
+		}
+		dataTypes[e.To] = true
+	}
+	// Objects that also act are entities, not data types.
+	for d := range dataTypes {
+		if entities[d] {
+			delete(dataTypes, d)
+		}
+	}
+	return Stats{
+		Nodes:     k.ED.NumNodes(),
+		Edges:     k.ED.NumEdges(),
+		Entities:  len(entities),
+		DataTypes: len(dataTypes),
+	}
+}
+
+// Entities returns the distinct acting/receiving parties, sorted.
+func (k *KnowledgeGraph) Entities() []string {
+	set := map[string]bool{}
+	for _, e := range k.ED.Edges() {
+		set[e.From] = true
+		if e.Other != "" {
+			set[e.Other] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// DataTypes returns the distinct data objects, sorted.
+func (k *KnowledgeGraph) DataTypes() []string {
+	set := map[string]bool{}
+	ents := map[string]bool{}
+	for _, e := range k.ED.Edges() {
+		set[e.To] = true
+		ents[e.From] = true
+		if e.Other != "" {
+			ents[e.Other] = true
+		}
+	}
+	for d := range set {
+		if ents[d] {
+			delete(set, d)
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builder constructs and updates knowledge graphs.
+type Builder struct {
+	// Taxonomy builds the hierarchies; required.
+	Taxonomy *taxonomy.Builder
+}
+
+// NewBuilder returns a builder over the given taxonomy builder.
+func NewBuilder(tb *taxonomy.Builder) *Builder { return &Builder{Taxonomy: tb} }
+
+// edgeOf converts one extracted practice into a graph edge in the paper's
+// [actor]-action->[object] form: the actor is the party performing the
+// action (direction-dependent), the counterparty rides along as Other.
+func edgeOf(p extract.Practice) graph.Edge {
+	actorRole, otherRole := llm.FlowRoles(p.ParamSet)
+	actor := nlp.CanonicalTerm(actorRole)
+	other := nlp.CanonicalTerm(otherRole)
+	if actorRole == otherRole {
+		other = "" // self-directed action (use, store, process)
+	}
+	// Preserve original company capitalization for readability: parties
+	// that look like proper names keep their case.
+	if isProper(actorRole) {
+		actor = actorRole
+	}
+	if isProper(otherRole) && other != "" {
+		other = otherRole
+	}
+	return graph.Edge{
+		From:       actor,
+		To:         p.DataType,
+		Label:      p.Action,
+		Condition:  p.Condition,
+		Permission: p.Permission,
+		Subject:    p.Subject,
+		Other:      other,
+		SegmentID:  p.SegmentID,
+	}
+}
+
+func isProper(s string) bool {
+	return s != "" && s[0] >= 'A' && s[0] <= 'Z'
+}
+
+// Build constructs the knowledge graph from a Phase 1 extraction: the
+// entity–data graph from the practices and both hierarchies via CoL.
+func (b *Builder) Build(ctx context.Context, ex *extract.Extraction) (*KnowledgeGraph, error) {
+	if b.Taxonomy == nil {
+		return nil, fmt.Errorf("kg: Builder.Taxonomy is nil")
+	}
+	k := &KnowledgeGraph{Company: ex.Company, ED: graph.New()}
+	for _, p := range ex.Practices {
+		if p.DataType == "" || p.Sender == "" {
+			continue
+		}
+		e := edgeOf(p)
+		k.ED.AddNode(e.From, "entity")
+		k.ED.AddNode(e.To, "data")
+		if e.Other != "" {
+			k.ED.AddNode(e.Other, "entity")
+		}
+		k.ED.AddEdge(e)
+	}
+	var err error
+	k.DataH, err = b.Taxonomy.Build(ctx, "data", k.DataTypes())
+	if err != nil {
+		return nil, fmt.Errorf("kg: data hierarchy: %w", err)
+	}
+	k.EntityH, err = b.Taxonomy.Build(ctx, "entity", k.Entities())
+	if err != nil {
+		return nil, fmt.Errorf("kg: entity hierarchy: %w", err)
+	}
+	return k, nil
+}
+
+// UpdateStats reports what an incremental update touched.
+type UpdateStats struct {
+	// EdgesRemoved counts edges dropped with removed segments.
+	EdgesRemoved int
+	// EdgesAdded counts edges contributed by added segments.
+	EdgesAdded int
+	// NewTerms counts hierarchy terms introduced by the update.
+	NewTerms int
+}
+
+// Update applies a policy-version change to an existing graph: edges of
+// removed segments are dropped, practices of added segments are inserted,
+// and only new terms are placed into the (otherwise preserved) hierarchies
+// — the paper's "update just the affected portions of the graph while
+// preserving the rest".
+func (b *Builder) Update(ctx context.Context, k *KnowledgeGraph, diff segment.Diff, newEx *extract.Extraction) (UpdateStats, error) {
+	var st UpdateStats
+	for _, seg := range diff.Removed {
+		st.EdgesRemoved += k.ED.RemoveSegment(seg.ID)
+	}
+	for _, seg := range diff.Added {
+		for _, p := range newEx.BySegment[seg.ID] {
+			if p.DataType == "" || p.Sender == "" {
+				continue
+			}
+			e := edgeOf(p)
+			k.ED.AddNode(e.From, "entity")
+			k.ED.AddNode(e.To, "data")
+			if e.Other != "" {
+				k.ED.AddNode(e.Other, "entity")
+			}
+			k.ED.AddEdge(e)
+			st.EdgesAdded++
+		}
+	}
+	k.Company = newEx.Company
+	// Place new terms into the existing hierarchies.
+	n, err := b.extendHierarchy(ctx, k.DataH, "data", k.DataTypes())
+	if err != nil {
+		return st, err
+	}
+	st.NewTerms += n
+	n, err = b.extendHierarchy(ctx, k.EntityH, "entity", k.Entities())
+	if err != nil {
+		return st, err
+	}
+	st.NewTerms += n
+	return st, nil
+}
+
+// extendHierarchy adds missing terms to an existing hierarchy by running
+// CoL layer prompts against the hierarchy's current nodes.
+func (b *Builder) extendHierarchy(ctx context.Context, h *graph.Hierarchy, kind string, terms []string) (int, error) {
+	var missing []string
+	for _, t := range terms {
+		c := nlp.CanonicalTerm(t)
+		if c != "" && !h.Has(c) {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		return 0, nil
+	}
+	// Build a mini-hierarchy over existing nodes + missing terms, then
+	// graft only the missing terms' placements.
+	tmp, err := b.Taxonomy.Build(ctx, kind, append(h.Terms(), missing...))
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	// Insert parents before children among the missing set.
+	pending := append([]string(nil), missing...)
+	for len(pending) > 0 {
+		progressed := false
+		var next []string
+		for _, m := range pending {
+			if h.Has(m) {
+				progressed = true
+				continue
+			}
+			parent, ok := tmp.Parent(m)
+			if !ok {
+				parent = h.Root
+			}
+			if parent == tmp.Root {
+				parent = h.Root
+			}
+			if h.Has(parent) {
+				if err := h.Add(parent, m); err == nil {
+					added++
+					progressed = true
+					continue
+				}
+			}
+			next = append(next, m)
+		}
+		if !progressed {
+			// Remaining terms have parents outside the hierarchy; attach
+			// to root to preserve the appears-exactly-once invariant.
+			for _, m := range next {
+				if !h.Has(m) {
+					if err := h.Add(h.Root, m); err == nil {
+						added++
+					}
+				}
+			}
+			break
+		}
+		pending = next
+	}
+	return added, nil
+}

@@ -1,0 +1,57 @@
+package llm
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzExtractParams checks the rule-based extractor never panics and
+// always produces well-formed parameter sets on arbitrary statements.
+func FuzzExtractParams(f *testing.F) {
+	seeds := []string{
+		"TikTak shares your email addresses with advertising partners.",
+		"If you consent, we collect your precise location.",
+		"We do not sell your personal information.",
+		"When you create an account, upload content, or contact support, you may provide a name, an email, and a password.",
+		"You view content, interact with ads, and engage with commercial content.",
+		"", ",,,", "and and and", "If , then .", "(((", "we we we collect collect",
+		"We share data with partners for legitimate business purposes if required by law when you consent.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, statement string) {
+		if !utf8.ValidString(statement) || len(statement) > 4096 {
+			return
+		}
+		ps := extractParams("FuzzCo", statement)
+		for _, p := range ps {
+			if p.DataType == "" {
+				t.Fatalf("empty data type in %+v from %q", p, statement)
+			}
+			if p.Permission != "allow" && p.Permission != "deny" {
+				t.Fatalf("bad permission %q from %q", p.Permission, statement)
+			}
+			if p.Action == "" {
+				t.Fatalf("empty action from %q", statement)
+			}
+		}
+	})
+}
+
+// FuzzSplitLeadingCondition checks the clause splitter's outputs always
+// recombine to non-garbage (no panics, no unbounded growth).
+func FuzzSplitLeadingCondition(f *testing.F) {
+	f.Add("If you consent, we collect your data.")
+	f.Add("When you create an account, upload content, you may provide a name.")
+	f.Add("unless")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 2048 {
+			return
+		}
+		cond, main := splitLeadingCondition(s)
+		if len(cond)+len(main) > len(s)+2 {
+			t.Fatalf("split grew input: %q -> %q + %q", s, cond, main)
+		}
+	})
+}

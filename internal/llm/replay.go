@@ -1,0 +1,127 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// TranscriptEntry is one recorded request/response pair.
+type TranscriptEntry struct {
+	// Key is the content hash of the request (task + prompt).
+	Key string `json:"key"`
+	// Task aids human inspection of transcripts.
+	Task Task `json:"task"`
+	// Prompt is stored for auditability.
+	Prompt string `json:"prompt"`
+	// Response is the completion text.
+	Response string `json:"response"`
+	// PromptTokens and CompletionTokens mirror the recorded usage.
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+}
+
+// RecordingClient captures every completion flowing through it so a
+// session against a live model can be replayed offline later — the
+// standard pattern for testing LLM pipelines hermetically.
+type RecordingClient struct {
+	// Inner is the wrapped client.
+	Inner Client
+
+	mu      sync.Mutex
+	entries map[string]TranscriptEntry
+}
+
+// NewRecordingClient wraps inner.
+func NewRecordingClient(inner Client) *RecordingClient {
+	return &RecordingClient{Inner: inner, entries: map[string]TranscriptEntry{}}
+}
+
+// Complete implements Client, recording the exchange.
+func (c *RecordingClient) Complete(ctx context.Context, req Request) (Response, error) {
+	resp, err := c.Inner.Complete(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	key := cacheKey(req)
+	c.mu.Lock()
+	c.entries[key] = TranscriptEntry{
+		Key: key, Task: req.Task, Prompt: req.Prompt, Response: resp.Text,
+		PromptTokens: resp.Usage.PromptTokens, CompletionTokens: resp.Usage.CompletionTokens,
+	}
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// Transcript returns the recorded entries sorted by key.
+func (c *RecordingClient) Transcript() []TranscriptEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TranscriptEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Save writes the transcript as JSON to path.
+func (c *RecordingClient) Save(path string) error {
+	data, err := json.MarshalIndent(c.Transcript(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("llm: marshal transcript: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReplayClient serves completions from a recorded transcript; requests not
+// in the transcript fail, keeping replays hermetic.
+type ReplayClient struct {
+	entries map[string]TranscriptEntry
+}
+
+// NewReplayClient builds a replay client from entries.
+func NewReplayClient(entries []TranscriptEntry) *ReplayClient {
+	m := make(map[string]TranscriptEntry, len(entries))
+	for _, e := range entries {
+		m[e.Key] = e
+	}
+	return &ReplayClient{entries: m}
+}
+
+// LoadReplayClient reads a transcript JSON file saved by RecordingClient.
+func LoadReplayClient(path string) (*ReplayClient, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("llm: read transcript: %w", err)
+	}
+	var entries []TranscriptEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("llm: decode transcript: %w", err)
+	}
+	return NewReplayClient(entries), nil
+}
+
+// Complete implements Client from the transcript only.
+func (c *ReplayClient) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if err := validateRequest(req); err != nil {
+		return Response{}, err
+	}
+	e, ok := c.entries[cacheKey(req)]
+	if !ok {
+		return Response{}, fmt.Errorf("llm: request not in transcript (task %s): replay is hermetic", req.Task)
+	}
+	return Response{
+		Text:  e.Response,
+		Usage: Usage{PromptTokens: e.PromptTokens, CompletionTokens: e.CompletionTokens},
+	}, nil
+}
+
+// Len returns the number of transcript entries available.
+func (c *ReplayClient) Len() int { return len(c.entries) }

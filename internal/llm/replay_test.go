@@ -1,0 +1,105 @@
+package llm
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	rec := NewRecordingClient(NewSim())
+	ctx := context.Background()
+	reqs := []Request{
+		CompanyNamePrompt("Acme Privacy Policy\nDetails follow."),
+		ExtractParamsPrompt("Acme", "Acme collects your email address."),
+		SemanticEquivPrompt("email", "email address"),
+	}
+	var live []Response
+	for _, req := range reqs {
+		resp, err := rec.Complete(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, resp)
+	}
+	if len(rec.Transcript()) != 3 {
+		t.Fatalf("transcript entries = %d", len(rec.Transcript()))
+	}
+
+	// Save and reload.
+	path := filepath.Join(t.TempDir(), "transcript.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := LoadReplayClient(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Len() != 3 {
+		t.Fatalf("replay entries = %d", replay.Len())
+	}
+	// Replay returns byte-identical completions.
+	for i, req := range reqs {
+		resp, err := replay.Complete(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Text != live[i].Text {
+			t.Errorf("replay diverged for %s: %q vs %q", req.Task, resp.Text, live[i].Text)
+		}
+		if resp.Usage != live[i].Usage {
+			t.Errorf("usage diverged: %+v vs %+v", resp.Usage, live[i].Usage)
+		}
+	}
+	// Unknown requests fail hermetically.
+	if _, err := replay.Complete(ctx, ExtractParamsPrompt("Acme", "Something never recorded.")); err == nil {
+		t.Error("unrecorded request should fail")
+	}
+}
+
+func TestReplayEndToEndPipeline(t *testing.T) {
+	// Record a full extraction, then run the identical extraction against
+	// the replay client with no simulated model behind it.
+	policyText := "# Acme Privacy Policy\n\nWe collect your email address.\n\nWe do not sell your personal information.\n"
+	rec := NewRecordingClient(NewSim())
+	// Drive the same prompts the extractor will issue.
+	ctx := context.Background()
+	if _, err := rec.Complete(ctx, CompanyNamePrompt(policyText)); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range []string{
+		"Acme collect your email address.",
+		"Acme does not sell your personal information.",
+	} {
+		if _, err := rec.Complete(ctx, ExtractParamsPrompt("Acme", seg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay := NewReplayClient(rec.Transcript())
+	// The same requests replay cleanly.
+	resp, err := replay.Complete(ctx, ExtractParamsPrompt("Acme", "Acme collect your email address."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text == "" {
+		t.Error("empty replayed response")
+	}
+}
+
+func TestLoadReplayClientErrors(t *testing.T) {
+	if _, err := LoadReplayClient("/nonexistent/file.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReplayClient(bad); err == nil {
+		t.Error("malformed transcript should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

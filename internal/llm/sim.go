@@ -1,0 +1,213 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+)
+
+// SimLLM is the deterministic simulated language model. It dispatches on
+// Request.Task and answers with the same JSON shapes a hosted model is
+// prompted to produce. The zero value is ready to use.
+type SimLLM struct{}
+
+// NewSim returns a simulated model.
+func NewSim() *SimLLM { return &SimLLM{} }
+
+// Complete implements Client.
+func (m *SimLLM) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if err := validateRequest(req); err != nil {
+		return Response{}, err
+	}
+	var payload any
+	switch req.Task {
+	case TaskCompanyName:
+		payload = map[string]string{"company": companyName(req.Input["prefix"])}
+	case TaskExtractParams:
+		payload = extractParams(req.Input["company"], req.Input["segment"])
+	case TaskTaxonomyRoot:
+		payload = map[string]string{"root": taxonomyRoot(req.Input["kind"])}
+	case TaskTaxonomyLayer:
+		payload = map[string]map[string][]string{
+			"children": taxonomyLayer(
+				req.Input["kind"],
+				splitField(req.Input["frontier"]),
+				splitField(req.Input["remaining"]),
+			),
+		}
+	case TaskSemanticEquiv:
+		payload = map[string]bool{"equivalent": semanticEquiv(req.Input["a"], req.Input["b"])}
+	default:
+		return Response{}, fmt.Errorf("llm: unknown task %q", req.Task)
+	}
+	text, err := json.Marshal(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{
+		Text: string(text),
+		Usage: Usage{
+			PromptTokens:     approxTokens(req.Prompt),
+			CompletionTokens: approxTokens(string(text)),
+		},
+	}, nil
+}
+
+func splitField(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\x1f")
+}
+
+// companyName identifies the organization in a policy prefix using the
+// patterns real policies follow.
+func companyName(prefix string) string {
+	lines := strings.Split(prefix, "\n")
+	// Pattern: "<Name> Privacy Policy" heading (the line ends there).
+	for _, line := range lines {
+		line = strings.TrimSpace(strings.TrimLeft(strings.TrimSpace(line), "# "))
+		if i := strings.Index(line, " Privacy Policy"); i > 0 {
+			if rest := strings.TrimSpace(line[i+len(" Privacy Policy"):]); rest != "" {
+				continue
+			}
+			cand := strings.TrimSpace(line[:i])
+			if isNameLike(cand) && !nlp.IsStopword(cand) {
+				return cand
+			}
+		}
+	}
+	// Pattern: `<Name> ("we", "us" ...)`.
+	if i := strings.Index(prefix, ` ("we"`); i > 0 {
+		start := strings.LastIndexAny(prefix[:i], ".\n")
+		cand := lastCapitalizedPhrase(prefix[start+1 : i])
+		if cand != "" {
+			return cand
+		}
+	}
+	// Pattern: "Welcome to <Name>" / "how <Name> collects".
+	for _, marker := range []string{"Welcome to ", "welcome to ", "how "} {
+		if i := strings.Index(prefix, marker); i >= 0 {
+			rest := prefix[i+len(marker):]
+			cand := firstCapitalizedPhrase(rest)
+			if cand != "" {
+				return cand
+			}
+		}
+	}
+	// Fallback: the most frequent capitalized mid-sentence word.
+	counts := map[string]int{}
+	toks := nlp.Tokenize(prefix)
+	for i, t := range toks {
+		if t.Kind != nlp.Word || t.Text[0] < 'A' || t.Text[0] > 'Z' {
+			continue
+		}
+		if nlp.IsStopword(t.Text) {
+			continue
+		}
+		if i > 0 && toks[i-1].Kind == nlp.Punct && toks[i-1].Text == "." {
+			continue // sentence-initial
+		}
+		counts[t.Text]++
+	}
+	best, bestN := "", 0
+	for w, n := range counts {
+		if n > bestN || (n == bestN && w < best) {
+			best, bestN = w, n
+		}
+	}
+	return best
+}
+
+func isNameLike(s string) bool {
+	if s == "" || len(s) > 40 {
+		return false
+	}
+	words := strings.Fields(s)
+	if len(words) > 3 {
+		return false
+	}
+	for _, w := range words {
+		if w[0] < 'A' || w[0] > 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+func firstCapitalizedPhrase(s string) string {
+	toks := nlp.Tokenize(s)
+	for _, t := range toks {
+		if t.Kind == nlp.Word && t.Text[0] >= 'A' && t.Text[0] <= 'Z' && !nlp.IsStopword(t.Text) {
+			return t.Text
+		}
+		if t.Kind == nlp.Punct && t.Text == "." {
+			break
+		}
+	}
+	return ""
+}
+
+func lastCapitalizedPhrase(s string) string {
+	toks := nlp.Tokenize(s)
+	for i := len(toks) - 1; i >= 0; i-- {
+		t := toks[i]
+		if t.Kind == nlp.Word && t.Text[0] >= 'A' && t.Text[0] <= 'Z' && !nlp.IsStopword(t.Text) {
+			return t.Text
+		}
+	}
+	return ""
+}
+
+// semanticEquiv answers TaskSemanticEquiv: canonical equality, a synonym
+// table for privacy vocabulary, or strong word overlap.
+func semanticEquiv(a, b string) bool {
+	ca, cb := nlp.CanonicalTerm(a), nlp.CanonicalTerm(b)
+	if ca == cb {
+		return true
+	}
+	if synonymPair(ca, cb) {
+		return true
+	}
+	return nlp.JaccardWords(ca, cb) >= 0.5
+}
+
+// synonymGroups lists privacy-domain term groups treated as equivalent.
+var synonymGroups = [][]string{
+	{"email", "email address", "e-mail", "e-mail address"},
+	{"phone number", "telephone number", "mobile number"},
+	{"location data", "location information", "gps location", "geolocation", "precise location"},
+	{"ip address", "internet protocol address"},
+	{"third party", "external party", "outside party"},
+	{"service provider", "vendor", "processor"},
+	{"advertising partner", "advertiser", "ad partner"},
+	{"personal information", "personal data"},
+	{"usage data", "usage information", "activity data"},
+	{"device identifier", "device id"},
+	{"law enforcement", "law enforcement agency", "police"},
+	{"photo", "photograph", "picture", "image"},
+}
+
+func synonymPair(a, b string) bool {
+	for _, g := range synonymGroups {
+		ina, inb := false, false
+		for _, t := range g {
+			if t == a {
+				ina = true
+			}
+			if t == b {
+				inb = true
+			}
+		}
+		if ina && inb {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,778 @@
+package llm
+
+import (
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+)
+
+// direction classifies how data flows relative to the clause subject.
+type direction int
+
+const (
+	// dirOutbound: the subject sends data to a receiver (share with X).
+	dirOutbound direction = iota
+	// dirInbound: the subject obtains data from a sender (collect from X).
+	dirInbound
+	// dirSelf: the subject acts on data it already holds (store, process).
+	dirSelf
+	// dirUserAct: a user activity that yields data to the company (create,
+	// upload, view).
+	dirUserAct
+)
+
+// actionVocab maps base-form verbs to their flow direction. The table
+// covers the data-practice verbs observed in privacy policies (and in the
+// paper's Tables 2-3).
+var actionVocab = map[string]direction{
+	"share": dirOutbound, "disclose": dirOutbound, "sell": dirOutbound,
+	"transfer": dirOutbound, "send": dirOutbound, "provide": dirOutbound,
+	"give": dirOutbound, "transmit": dirOutbound, "release": dirOutbound,
+	"distribute": dirOutbound, "report": dirOutbound, "show": dirOutbound,
+	"expose": dirOutbound, "forward": dirOutbound,
+
+	"collect": dirInbound, "access": dirInbound, "receive": dirInbound,
+	"obtain": dirInbound, "gather": dirInbound, "record": dirInbound,
+	"track": dirInbound, "request": dirInbound, "acquire": dirInbound,
+	"import": dirInbound, "capture": dirInbound, "scan": dirInbound,
+	"read": dirInbound, "infer": dirInbound, "derive": dirInbound,
+
+	"use": dirSelf, "store": dirSelf, "process": dirSelf, "retain": dirSelf,
+	"preserve": dirSelf, "analyze": dirSelf, "combine": dirSelf,
+	"delete": dirSelf, "remove": dirSelf, "protect": dirSelf,
+	"encrypt": dirSelf, "anonymize": dirSelf, "aggregate": dirSelf,
+	"review": dirSelf, "monitor": dirSelf, "keep": dirSelf,
+	"maintain": dirSelf, "update": dirSelf, "hold": dirSelf, "log": dirSelf,
+	"develop": dirSelf, "improve": dirSelf, "personalize": dirSelf,
+	"verify": dirSelf, "link": dirSelf, "match": dirSelf,
+
+	"create": dirUserAct, "upload": dirUserAct, "view": dirUserAct,
+	"interact": dirUserAct, "make": dirUserAct, "choose": dirUserAct,
+	"engage": dirUserAct, "contact": dirUserAct, "visit": dirUserAct,
+	"browse": dirUserAct, "click": dirUserAct, "purchase": dirUserAct,
+	"post": dirUserAct, "submit": dirUserAct, "register": dirUserAct,
+	"communicate": dirUserAct, "connect": dirUserAct, "sync": dirUserAct,
+	"follow": dirUserAct, "message": dirUserAct, "stream": dirUserAct,
+	"watch": dirUserAct, "search": dirUserAct, "play": dirUserAct,
+	"join": dirUserAct, "participate": dirUserAct, "allow": dirUserAct,
+	"enable": dirUserAct, "apply": dirUserAct, "opt": dirUserAct,
+}
+
+// vaguePhrases are condition fragments with no computational definition;
+// they are preserved verbatim (Challenge 1).
+var vaguePhrases = []string{
+	"legitimate business purpose", "legitimate purpose", "business operations",
+	"business purpose", "required by law", "legal obligation", "as necessary",
+	"where appropriate", "trusted partner", "reasonable", "legitimate interest",
+	"security purpose", "improve our services", "comply with the law",
+	"applicable law", "lawful request", "public interest", "vital interest",
+}
+
+// wordToken is a word with its byte span in the clause.
+type wordToken struct {
+	text  string
+	lower string
+	base  string
+	start int
+	end   int
+}
+
+func wordsOf(s string) []wordToken {
+	toks := nlp.Tokenize(s)
+	out := make([]wordToken, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind != nlp.Word && t.Kind != nlp.Number {
+			continue
+		}
+		lower := strings.ToLower(t.Text)
+		out = append(out, wordToken{
+			text: t.Text, lower: lower, base: nlp.VerbBase(lower),
+			start: t.Start, end: t.End,
+		})
+	}
+	return out
+}
+
+// extractParams is the SimLLM implementation of TaskExtractParams: a
+// deterministic semantic-role extractor over one coreference-resolved
+// policy statement.
+func extractParams(company, segment string) []ParamSet {
+	segment = strings.TrimSpace(segment)
+	if segment == "" {
+		return nil
+	}
+	var out []ParamSet
+
+	// Leading subordinate clause is a condition; per the paper's Table 2
+	// the user activities inside it are also extracted as edges of their
+	// own ("captures the causal relationship").
+	condition, main := splitLeadingCondition(segment)
+	if condition != "" {
+		out = append(out, extractClauses(company, condition, "", true)...)
+	}
+	// Trailing conditions attach to the main clause.
+	main, trailing := splitTrailingCondition(main)
+	conds := joinConditions(condition, trailing)
+	out = append(out, extractClauses(company, main, conds, false)...)
+	return dedupeParams(out)
+}
+
+var leadingCondMarkers = []string{"if ", "when ", "whenever ", "where ", "unless ", "in case ", "to the extent "}
+
+// splitLeadingCondition splits "If/When <clause>, <main>" into the
+// condition clause and the main clause. The boundary is the last comma
+// followed by a plausible main-clause subject ("you ...", "we ...", or a
+// capitalized entity), so that commas inside the conditional enumeration
+// ("When you create an account, upload content, or contact support, you
+// may ...") stay within the condition.
+func splitLeadingCondition(s string) (cond, main string) {
+	lower := strings.ToLower(s)
+	for _, m := range leadingCondMarkers {
+		if !strings.HasPrefix(lower, m) {
+			continue
+		}
+		best := -1
+		for i := len(m); i < len(s); i++ {
+			if s[i] != ',' {
+				continue
+			}
+			rest := strings.TrimSpace(s[i+1:])
+			if startsMainClause(rest) {
+				best = i
+			}
+		}
+		if best < 0 {
+			if i := strings.Index(s[len(m):], ","); i >= 0 {
+				best = i + len(m)
+			} else {
+				return "", s
+			}
+		}
+		cond = strings.TrimSpace(s[len(m):best])
+		if m == "unless " {
+			// "Unless X, Y" means Y holds when X does NOT; preserve the
+			// logical polarity alongside the verbatim text.
+			cond = "NOT " + cond
+		}
+		return cond, strings.TrimSpace(s[best+1:])
+	}
+	return "", s
+}
+
+// startsMainClause reports whether text looks like the start of a main
+// clause: a subject pronoun or a capitalized entity followed by more words.
+func startsMainClause(rest string) bool {
+	restLower := strings.ToLower(rest)
+	for _, p := range []string{"you ", "we ", "they ", "it "} {
+		if strings.HasPrefix(restLower, p) {
+			return true
+		}
+	}
+	// Capitalized word (company name) followed by a verb-ish word.
+	ws := wordsOf(rest)
+	if len(ws) >= 2 && rest[0] >= 'A' && rest[0] <= 'Z' {
+		next := ws[1].lower
+		if next == "will" || next == "may" || next == "can" || next == "must" {
+			return true
+		}
+		if _, ok := actionVocab[ws[1].base]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+var trailingCondMarkers = []string{
+	" if ", " when ", " unless ", " provided that ", " where required",
+	" as required by law", " with your consent", " with your permission",
+	" for ", " to comply with ", " in order to ", " subject to ",
+	" only when ", " only if ",
+}
+
+// splitTrailingCondition splits "<main> if/for/when <cond>" returning the
+// main clause and the condition text. Purpose clauses ("for business
+// operations") count as conditions, preserving vague terms verbatim.
+func splitTrailingCondition(s string) (main, cond string) {
+	lower := strings.ToLower(s)
+	best := -1
+	bestMarker := ""
+	for _, m := range trailingCondMarkers {
+		i := strings.Index(lower, m)
+		if i < 0 {
+			continue
+		}
+		// "for" only starts a condition when it introduces a purpose,
+		// not a beneficiary ("for you").
+		tail := strings.TrimSpace(lower[i+len(m):])
+		if strings.TrimSpace(m) == "for" && !looksLikePurpose(tail) {
+			continue
+		}
+		// The earliest marker wins so that compound conditions ("if
+		// necessary to comply with the law") stay intact.
+		if best < 0 || i < best {
+			best = i
+			bestMarker = m
+		}
+	}
+	if best < 0 {
+		return s, ""
+	}
+	main = strings.TrimSpace(s[:best])
+	cond = strings.TrimSpace(s[best+len(bestMarker):])
+	cond = strings.TrimRight(cond, ".")
+	switch strings.TrimSpace(bestMarker) {
+	case "to comply with":
+		cond = "comply with " + cond
+	case "unless":
+		cond = "NOT " + cond
+	}
+	return main, cond
+}
+
+func looksLikePurpose(tail string) bool {
+	for _, kw := range []string{"purpose", "operation", "reason", "analytics",
+		"advertising", "marketing", "security", "safety", "research",
+		"personalization", "compliance", "example"} {
+		if strings.Contains(tail, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func joinConditions(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			nonEmpty = append(nonEmpty, strings.TrimSpace(p))
+		}
+	}
+	return strings.Join(nonEmpty, " AND ")
+}
+
+// extractClauses splits a clause group on ";" and coordinated subjects and
+// extracts param sets from each.
+func extractClauses(company, text, condition string, inCondition bool) []ParamSet {
+	var out []ParamSet
+	for _, clause := range splitClauses(text) {
+		out = append(out, extractOneClause(company, clause, condition, inCondition)...)
+	}
+	return out
+}
+
+// splitClauses splits on semicolons, on ", and/or <new main clause>"
+// boundaries ("..., and MetaBook will process transaction records"), and on
+// coordinated verb phrases sharing a subject.
+func splitClauses(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		for _, piece := range splitMainClauses(strings.TrimSpace(part)) {
+			out = append(out, splitCoordinated(piece)...)
+		}
+	}
+	return out
+}
+
+// splitMainClauses splits at ", and " / ", or " boundaries whose right side
+// starts a new main clause with its own subject.
+func splitMainClauses(s string) []string {
+	for _, conj := range []string{", and ", ", or "} {
+		if i := strings.LastIndex(s, conj); i > 0 {
+			rest := s[i+len(conj):]
+			if startsMainClause(rest) {
+				return append(splitMainClauses(s[:i]), splitMainClauses(rest)...)
+			}
+		}
+	}
+	return []string{strings.TrimSpace(s)}
+}
+
+// splitCoordinated splits "you create an account, upload content, or
+// otherwise use the Platform" into one clause per verb phrase, carrying the
+// shared subject into each.
+func splitCoordinated(s string) []string {
+	words := wordsOf(s)
+	if len(words) == 0 {
+		return nil
+	}
+	// Find the subject prefix: words up to (excluding) the first verb.
+	firstVerb := -1
+	for i, w := range words {
+		if _, ok := actionVocab[w.base]; ok && isVerbPosition(words, i) {
+			firstVerb = i
+			break
+		}
+	}
+	if firstVerb <= 0 {
+		return []string{s}
+	}
+	subject := strings.TrimSpace(s[:words[firstVerb].start])
+	// Split points: ", verb" or ", or/and (otherwise) verb" boundaries.
+	type span struct{ start int }
+	var starts []int
+	starts = append(starts, words[firstVerb].start)
+	for i := firstVerb + 1; i < len(words); i++ {
+		w := words[i]
+		if _, ok := actionVocab[w.base]; !ok || !isVerbPosition(words, i) {
+			continue
+		}
+		// Look back: preceded by a comma (possibly with and/or/otherwise),
+		// or by a conjunction whose left neighbour is a non-verb (a new
+		// verb phrase after a full object: "use the camera feature or use
+		// voice-enabled features").
+		j := i - 1
+		sawConj := false
+		for j > firstVerb && (words[j].lower == "or" || words[j].lower == "and" || words[j].lower == "otherwise") {
+			sawConj = true
+			j--
+		}
+		between := s[words[j].end:words[i].start]
+		_, prevIsVerb := actionVocab[words[j].base]
+		if strings.Contains(between, ",") || (sawConj && !prevIsVerb) {
+			starts = append(starts, words[i].start)
+		}
+	}
+	if len(starts) == 1 {
+		return []string{s}
+	}
+	var out []string
+	for k, st := range starts {
+		end := len(s)
+		if k+1 < len(starts) {
+			end = starts[k+1]
+		}
+		frag := strings.TrimSpace(strings.TrimRight(strings.TrimSpace(s[st:end]), ","))
+		frag = strings.TrimSuffix(frag, " or")
+		frag = strings.TrimSuffix(frag, " and")
+		out = append(out, strings.TrimSpace(subject+" "+frag))
+	}
+	return out
+}
+
+// isVerbPosition filters out noun usages of action words ("the use of").
+func isVerbPosition(words []wordToken, i int) bool {
+	w := words[i]
+	if i > 0 {
+		prev := words[i-1].lower
+		switch prev {
+		case "the", "a", "an", "of", "this", "that", "their", "its", "such",
+			"your", "our", "my", "his", "her":
+			return false
+		}
+	}
+	// "access to X" as noun: "have access to".
+	if w.base == "access" && i > 0 && words[i-1].base == "have" {
+		return false
+	}
+	// Gerund subjects ("Sharing data is...") are rare in the corpus; allow.
+	return true
+}
+
+// extractOneClause extracts param sets from a single clause with one
+// subject and one or two coordinated verbs.
+func extractOneClause(company, clause, condition string, inCondition bool) []ParamSet {
+	clause = strings.TrimSpace(strings.TrimRight(strings.TrimSpace(clause), "."))
+	if clause == "" {
+		return nil
+	}
+	words := wordsOf(clause)
+	if len(words) == 0 {
+		return nil
+	}
+	// Locate the main verb(s).
+	vi := -1
+	for i, w := range words {
+		if _, ok := actionVocab[w.base]; ok && isVerbPosition(words, i) {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		return nil
+	}
+	// Passive voice ("was updated", "is stored by ...") and meta-text
+	// subjects ("This policy ...") are not data practices by the subject.
+	for back := 1; back <= 2 && vi-back >= 0; back++ {
+		switch words[vi-back].lower {
+		case "was", "were", "is", "are", "been", "being", "be":
+			return nil
+		}
+	}
+	subjectText := strings.TrimSpace(clause[:words[vi].start])
+	subjectText = stripTrailingModals(subjectText)
+	if subjLower := strings.ToLower(subjectText); strings.Contains(subjLower, "policy") ||
+		strings.Contains(subjLower, "notice") || strings.Contains(subjLower, "section") ||
+		strings.Contains(subjLower, "document") {
+		return nil
+	}
+	permission := "allow"
+	if negated(subjectText) {
+		permission = "deny"
+	}
+	subject := resolveParty(subjectText, company, "")
+
+	// Coordinated verbs: "access and collect", "view or interact with".
+	actions := []string{words[vi].base}
+	objStart := words[vi].end
+	j := vi + 1
+	for j+1 < len(words) && (words[j].lower == "and" || words[j].lower == "or") {
+		if _, ok := actionVocab[words[j+1].base]; ok {
+			actions = append(actions, words[j+1].base)
+			objStart = words[j+1].end
+			j += 2
+		} else {
+			break
+		}
+	}
+	// Multi-word action phrases.
+	rest := clause[objStart:]
+	for k, a := range actions {
+		switch a {
+		case "interact", "engage":
+			if strings.HasPrefix(strings.TrimSpace(rest), "with ") {
+				actions[k] = a + " with"
+			}
+		case "choose":
+			trimmed := strings.TrimSpace(rest)
+			if strings.HasPrefix(trimmed, "to ") {
+				ws := wordsOf(trimmed)
+				if len(ws) >= 2 {
+					actions[k] = "choose to " + ws[1].base
+					// Object starts after the inner verb.
+					objStart += strings.Index(rest, ws[1].text) + len(ws[1].text)
+					rest = clause[objStart:]
+				}
+			}
+		case "opt":
+			trimmed := strings.TrimSpace(rest)
+			if strings.HasPrefix(trimmed, "out") {
+				actions[k] = "opt out"
+				objStart += strings.Index(clause[objStart:], "out") + len("out")
+				rest = clause[objStart:]
+			}
+		}
+	}
+	for k, a := range actions {
+		if a == "interact with" || a == "engage with" {
+			rest2 := strings.TrimSpace(clause[objStart:])
+			if strings.HasPrefix(rest2, "with ") {
+				objStart += strings.Index(clause[objStart:], "with ") + len("with ")
+			}
+			_ = k
+		}
+	}
+
+	object := strings.TrimSpace(clause[objStart:])
+	object = strings.TrimPrefix(object, ", ")
+
+	// Peel off receiver/sender prepositional phrases, guided by the verb's
+	// direction so that "limited to", "information about" and similar
+	// non-party uses of the prepositions survive.
+	dir := actionVocab[baseAction(actions[0])]
+	receiverPhrase, senderPhrase := "", ""
+	switch dir {
+	case dirOutbound:
+		object, receiverPhrase = peelParty(object, " with ")
+		if receiverPhrase == "" {
+			object, receiverPhrase = peelParty(object, " to ")
+		}
+	case dirInbound:
+		object, senderPhrase = peelParty(object, " from ")
+	case dirUserAct:
+		object, receiverPhrase = peelParty(object, " with ")
+	}
+	sender, receiver := "", ""
+	switch dir {
+	case dirOutbound:
+		sender = subject
+		receiver = resolveParty(receiverPhrase, company, defaultReceiver(subject, company, actions[0]))
+	case dirInbound:
+		receiver = subject
+		sender = resolveParty(senderPhrase, company, defaultSender(subject, company))
+	case dirSelf:
+		sender = subject
+		receiver = subject
+	case dirUserAct:
+		sender = "user"
+		receiver = resolveParty(receiverPhrase, company, company)
+	}
+
+	// Data subject: "your X" / "of contacts".
+	dataSubject := "user"
+	if strings.Contains(strings.ToLower(object), "of contacts") ||
+		strings.Contains(strings.ToLower(object), "contacts'") {
+		dataSubject = "contact"
+	}
+
+	items := expandObjects(object)
+	if len(items) == 0 {
+		items = []string{""}
+	}
+	var out []ParamSet
+	cond := condition
+	if inCondition {
+		cond = "" // activities inside a condition clause are plain edges
+	}
+	for _, action := range actions {
+		for _, item := range items {
+			dt := nlp.CanonicalTerm(stripTrailingAdverb(item))
+			if dt == "" {
+				continue
+			}
+			out = append(out, ParamSet{
+				Sender:     sender,
+				Receiver:   receiver,
+				Subject:    dataSubject,
+				DataType:   dt,
+				Action:     action,
+				Condition:  cond,
+				Permission: permission,
+			})
+		}
+	}
+	return out
+}
+
+// FlowRoles maps a parameter set's data-flow roles (sender/receiver) onto
+// the paper's edge notation roles: the actor performing the action (the
+// [X] in [X]-action->[data]) and the counterparty, if any. For inbound
+// verbs (collect, access) the actor is the receiver of the data; for
+// outbound verbs (share, disclose) it is the sender.
+func FlowRoles(p ParamSet) (actor, other string) {
+	switch actionVocab[baseAction(p.Action)] {
+	case dirInbound:
+		return p.Receiver, p.Sender
+	case dirSelf:
+		return p.Sender, ""
+	default: // outbound and user activities
+		return p.Sender, p.Receiver
+	}
+}
+
+// stripTrailingAdverb removes a final "-ly" adverb from an object phrase
+// ("crash logs automatically" -> "crash logs").
+func stripTrailingAdverb(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.LastIndexByte(s, ' '); i > 0 {
+		last := s[i+1:]
+		if strings.HasSuffix(last, "ly") && len(last) > 3 {
+			return strings.TrimSpace(s[:i])
+		}
+	}
+	return s
+}
+
+// stripTrailingModals removes trailing modal/auxiliary words from a subject
+// phrase ("Clinical research sponsors may" -> "Clinical research sponsors").
+func stripTrailingModals(s string) string {
+	for {
+		i := strings.LastIndexByte(s, ' ')
+		if i < 0 {
+			return s
+		}
+		switch strings.ToLower(s[i+1:]) {
+		case "may", "will", "can", "must", "shall", "would", "might", "also", "then":
+			s = strings.TrimSpace(s[:i])
+		default:
+			return s
+		}
+	}
+}
+
+func baseAction(a string) string {
+	if i := strings.IndexByte(a, ' '); i > 0 {
+		if strings.HasPrefix(a, "choose to ") {
+			return "choose"
+		}
+		return a[:i]
+	}
+	return a
+}
+
+func negated(subjectText string) bool {
+	lower := " " + strings.ToLower(subjectText) + " "
+	for _, n := range []string{" do not ", " does not ", " will not ", " never ", " won't ", " don't ", " doesn't ", " shall not ", " must not ", " cannot "} {
+		if strings.Contains(lower, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// peelParty splits "data with service providers" into ("data", "service
+// providers") for the given preposition.
+func peelParty(object, prep string) (rest, party string) {
+	lower := strings.ToLower(object)
+	i := strings.Index(lower, prep)
+	if i < 0 {
+		return object, ""
+	}
+	party = strings.TrimSpace(object[i+len(prep):])
+	// Drop anything after a comma in the party phrase (likely a new list).
+	if j := strings.Index(party, ","); j >= 0 {
+		party = party[:j]
+	}
+	return strings.TrimSpace(object[:i]), party
+}
+
+// resolveParty normalizes a party phrase: the company name, "user" for
+// second-person references, or the canonicalized phrase. def is used when
+// the phrase is empty.
+func resolveParty(phrase, company, def string) string {
+	phrase = strings.TrimSpace(phrase)
+	if phrase == "" {
+		return def
+	}
+	lower := strings.ToLower(phrase)
+	words := nlp.Words(lower)
+	for _, w := range words {
+		if w == "you" || w == "user" || w == "users" {
+			return "user"
+		}
+	}
+	if company != "" && strings.Contains(lower, strings.ToLower(company)) {
+		return company
+	}
+	p := nlp.CanonicalTerm(phrase)
+	if p == "" {
+		return def
+	}
+	return p
+}
+
+func defaultReceiver(subject, company, action string) string {
+	if action == "sell" {
+		return "third party"
+	}
+	if subject == "user" {
+		return company
+	}
+	return "third party"
+}
+
+func defaultSender(subject, company string) string {
+	if subject == "user" {
+		return company
+	}
+	return "user"
+}
+
+// expandObjects splits an object phrase into individual data types,
+// expanding enumerations ("such as name, age, and email").
+func expandObjects(object string) []string {
+	object = strings.TrimSpace(object)
+	if object == "" {
+		return nil
+	}
+	lower := strings.ToLower(object)
+	// "information such as A, B, C" keeps the lead term AND the items when
+	// the lead is a generic container word; otherwise items only. The
+	// longest markers are tried first ("including but not limited to"
+	// before "including").
+	for _, marker := range []string{
+		" including but not limited to ", ", including but not limited to ",
+		" such as ", ", such as ", " including ", ", including ", " like ",
+	} {
+		if i := strings.Index(lower, marker); i >= 0 {
+			head := strings.TrimSpace(object[:i])
+			items := nlp.SplitList(object[i+len(marker):])
+			out := make([]string, 0, len(items)+1)
+			if keepHead(head) {
+				out = append(out, head)
+			}
+			out = append(out, items...)
+			return out
+		}
+	}
+	if strings.Contains(object, ",") || strings.Contains(lower, " and ") || strings.Contains(lower, " or ") {
+		return dropAsides(distributeOfPhrase(nlp.SplitList(object)))
+	}
+	return []string{object}
+}
+
+// dropAsides removes enumeration items that are parenthetical asides
+// rather than data types ("e.g. for account recovery", "etc.").
+func dropAsides(items []string) []string {
+	out := items[:0]
+	for _, item := range items {
+		lower := strings.ToLower(strings.TrimSpace(item))
+		if lower == "" || lower == "etc" || lower == "etc." ||
+			strings.HasPrefix(lower, "e.g") || strings.HasPrefix(lower, "i.e") ||
+			strings.HasPrefix(lower, "for example") || strings.HasPrefix(lower, "among others") {
+			continue
+		}
+		out = append(out, item)
+	}
+	return out
+}
+
+// distributeOfPhrase spreads a trailing "of X" complement across all items
+// of an enumeration: "names, phone numbers, and email addresses of
+// contacts" yields "name of contacts", "phone number of contacts", "email
+// address of contacts" — the decomposition shown in the paper's Table 2.
+func distributeOfPhrase(items []string) []string {
+	if len(items) < 2 {
+		return items
+	}
+	last := items[len(items)-1]
+	i := strings.LastIndex(last, " of ")
+	if i < 0 {
+		return items
+	}
+	suffix := last[i:]
+	// Distribute only plural complements ("of contacts", "of users");
+	// singular complements are fixed compounds ("date of birth").
+	complement := strings.TrimSpace(suffix[len(" of "):])
+	if !strings.HasSuffix(complement, "s") {
+		return items
+	}
+	for k := 0; k < len(items)-1; k++ {
+		if !strings.Contains(items[k], " of ") {
+			items[k] += suffix
+		}
+	}
+	return items
+}
+
+// keepHead reports whether the pre-enumeration head phrase is specific
+// enough to keep as its own data type ("account and profile information")
+// versus a pure container ("information").
+func keepHead(head string) bool {
+	h := nlp.NormalizePhrase(head)
+	switch h {
+	case "information", "data", "content", "the following", "following information", "some or all of the following information":
+		return false
+	}
+	return h != ""
+}
+
+// dedupeParams removes exact duplicates while preserving order.
+func dedupeParams(in []ParamSet) []ParamSet {
+	seen := map[ParamSet]bool{}
+	out := make([]ParamSet, 0, len(in))
+	for _, p := range in {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VagueTerms returns the vague fragments of a condition — terms with no
+// computational definition that must be preserved as explicit uninterpreted
+// predicates (Challenge 1). Exported for the pipeline's FOL encoder.
+func VagueTerms(condition string) []string { return detectVagueTerms(condition) }
+
+// detectVagueTerms returns the vague fragments of a condition, used by the
+// pipeline to tag uninterpreted predicates.
+func detectVagueTerms(condition string) []string {
+	lower := strings.ToLower(condition)
+	var out []string
+	for _, v := range vaguePhrases {
+		if strings.Contains(lower, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

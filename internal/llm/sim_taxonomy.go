@@ -1,0 +1,172 @@
+package llm
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+)
+
+// taxonomyRoot answers TaskTaxonomyRoot with the root concept for a term
+// kind ("data" or "entity").
+func taxonomyRoot(kind string) string {
+	switch kind {
+	case "entity":
+		return "entity"
+	default:
+		return "data"
+	}
+}
+
+// category is a synthesized intermediate taxonomy node with keyword cues.
+type category struct {
+	name     string
+	keywords []string
+}
+
+// dataCategories are the layer-1 data subcategories the simulated model
+// proposes under the root, in priority order (first matching category
+// claims a term).
+var dataCategories = []category{
+	{"biometric data", []string{"biometric", "faceprint", "voiceprint", "fingerprint", "facial", "iris"}},
+	{"financial data", []string{"payment", "credit", "card", "purchase", "transaction", "billing", "financial", "bank", "checkout", "pay"}},
+	{"location data", []string{"location", "gps", "geolocation", "region", "country", "city", "geo"}},
+	{"contact information", []string{"email", "phone", "address", "contact", "name"}},
+	{"account information", []string{"account", "username", "password", "profile", "registration", "login", "age", "birthday", "language"}},
+	{"content data", []string{"photo", "video", "image", "content", "message", "comment", "audio", "voice", "camera", "livestream", "post", "clipboard"}},
+	{"social data", []string{"friend", "follower", "social", "connection", "contacts"}},
+	{"usage data", []string{"usage", "interaction", "view", "click", "activity", "engagement", "search", "watch", "history", "preference", "session"}},
+	{"technical data", []string{"device", "ip", "browser", "cookie", "identifier", "log", "operating", "network", "crash", "performance", "battery", "sensor", "screen", "model", "carrier", "app", "metadata", "keystroke"}},
+	{"demographic data", []string{"gender", "demographic", "interest", "characteristic"}},
+}
+
+// entityCategories are the layer-1 entity subcategories.
+var entityCategories = []category{
+	{"user party", []string{"user", "member", "child", "parent", "contact", "friend", "follower", "creator", "seller", "buyer"}},
+	{"government party", []string{"law enforcement", "regulator", "authority", "court", "government", "agency", "public body"}},
+	{"service provider", []string{"provider", "processor", "cloud", "vendor", "support", "infrastructure", "moderation"}},
+	{"business partner", []string{"partner", "advertiser", "merchant", "affiliate", "network", "sponsor", "platform", "corporate group", "researcher", "measurement"}},
+	{"internal party", []string{"team", "employee", "engineer", "staff", "subsidiary"}},
+}
+
+func categoriesFor(kind string) []category {
+	if kind == "entity" {
+		return entityCategories
+	}
+	return dataCategories
+}
+
+// categorize returns the category name for a term, or "".
+func categorize(kind, term string) string {
+	words := nlp.ContentWords(term)
+	lower := " " + strings.Join(words, " ") + " "
+	for _, c := range categoriesFor(kind) {
+		for _, kw := range c.keywords {
+			if strings.Contains(lower, " "+kw+" ") || strings.Contains(lower, kw) {
+				return c.name
+			}
+		}
+	}
+	return ""
+}
+
+// specializes reports whether child is a lexical specialization of parent
+// (parent's content words are a strict subset of child's).
+func specializes(parent, child string) bool {
+	pw := nlp.ContentWords(parent)
+	cw := nlp.ContentWords(child)
+	if len(pw) == 0 || len(cw) <= len(pw) {
+		return false
+	}
+	set := map[string]bool{}
+	for _, w := range cw {
+		set[w] = true
+		set[nlp.Singular(w)] = true
+	}
+	for _, w := range pw {
+		if !set[w] && !set[nlp.Singular(w)] {
+			return false
+		}
+	}
+	return true
+}
+
+// taxonomyLayer answers TaskTaxonomyLayer: for each frontier node, which of
+// the remaining terms (or synthesized category nodes) are its immediate
+// children. Each remaining term is assigned to at most one parent, and the
+// assignment is deterministic.
+func taxonomyLayer(kind string, frontier, remaining []string) map[string][]string {
+	out := map[string][]string{}
+	root := taxonomyRoot(kind)
+	claimed := map[string]bool{}
+
+	frontierSet := map[string]bool{}
+	for _, f := range frontier {
+		frontierSet[f] = true
+	}
+
+	// Rule 1: lexical specialization against non-root frontier nodes.
+	// Prefer the most specific (longest) matching parent.
+	for _, term := range remaining {
+		bestParent, bestLen := "", -1
+		for _, f := range frontier {
+			if f == root {
+				continue
+			}
+			if specializes(f, term) && len(nlp.ContentWords(f)) > bestLen {
+				bestParent, bestLen = f, len(nlp.ContentWords(f))
+			}
+		}
+		if bestParent != "" {
+			out[bestParent] = append(out[bestParent], term)
+			claimed[term] = true
+		}
+	}
+
+	// Rule 2: category bucketing. When the category node is on the
+	// frontier, unclaimed matching terms become its children. When only
+	// the root is on the frontier, the categories themselves are proposed
+	// as the root's children (synthesized intermediate nodes).
+	neededCategories := map[string]bool{}
+	for _, term := range remaining {
+		if claimed[term] {
+			continue
+		}
+		// Defer terms that specialize another remaining term: they will
+		// attach under that term once it has been placed (next layer).
+		deferred := false
+		for _, other := range remaining {
+			if other != term && specializes(other, term) {
+				deferred = true
+				break
+			}
+		}
+		if deferred {
+			continue
+		}
+		cat := categorize(kind, term)
+		if cat == "" || cat == term {
+			continue
+		}
+		if frontierSet[cat] {
+			out[cat] = append(out[cat], term)
+			claimed[term] = true
+		} else if frontierSet[root] {
+			neededCategories[cat] = true
+		}
+	}
+	if frontierSet[root] && len(neededCategories) > 0 {
+		cats := make([]string, 0, len(neededCategories))
+		for c := range neededCategories {
+			if !claimed[c] {
+				cats = append(cats, c)
+			}
+		}
+		sort.Strings(cats)
+		out[root] = append(out[root], cats...)
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package nlp provides the lightweight natural-language substrate used by
+// the extraction pipeline: tokenization, sentence splitting, verb
+// lemmatization (base forms), noun singularization, stopword filtering and
+// phrase normalization.
+//
+// The paper's pipeline delegates deep language understanding to an LLM but
+// still relies on deterministic text normalization ("collects" -> "collect",
+// "email addresses" -> "email address", "we"/"us"/"our" -> company name).
+// This package implements those rules with small, testable tables rather
+// than statistical models so that the whole reproduction is deterministic
+// and offline.
+package nlp

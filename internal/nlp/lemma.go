@@ -1,0 +1,221 @@
+package nlp
+
+import "strings"
+
+// irregularVerbs maps inflected verb forms to their base form. The table
+// covers the verbs that actually occur in privacy-policy data practices.
+var irregularVerbs = map[string]string{
+	"is": "be", "are": "be", "was": "be", "were": "be", "been": "be", "being": "be",
+	"has": "have", "had": "have", "having": "have",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	"gives": "give", "gave": "give", "given": "give", "giving": "give",
+	"makes": "make", "made": "make", "making": "make",
+	"takes": "take", "took": "take", "taken": "take", "taking": "take",
+	"keeps": "keep", "kept": "keep", "keeping": "keep",
+	"holds": "hold", "held": "hold", "holding": "holding",
+	"sends": "send", "sent": "send", "sending": "send",
+	"sells": "sell", "sold": "sell", "selling": "sell",
+	"gets": "get", "got": "get", "gotten": "get", "getting": "get",
+	"chooses": "choose", "chose": "choose", "chosen": "choose", "choosing": "choose",
+	"lets": "let", "letting": "let",
+	"sees": "see", "saw": "see", "seen": "see", "seeing": "see",
+	"goes": "go", "went": "go", "gone": "go", "going": "go",
+	"buys": "buy", "bought": "buy", "buying": "buy",
+	"tells": "tell", "told": "tell", "telling": "tell",
+	"finds": "find", "found": "find", "finding": "find",
+	"leaves": "leave", "left": "leave", "leaving": "leave",
+	"means": "mean", "meant": "mean", "meaning": "mean",
+	"reads": "read", "reading": "read",
+	"writes": "write", "wrote": "write", "written": "write", "writing": "write",
+}
+
+// consonant reports whether b is an ASCII consonant letter.
+func consonant(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	}
+	return b >= 'a' && b <= 'z'
+}
+
+// VerbBase reduces an English verb to its base (infinitive) form using the
+// irregular table plus regular suffix rules: "collects" -> "collect",
+// "sharing" -> "share", "notified" -> "notify". Input is lowercased first.
+// Words that look like they are already base forms are returned unchanged.
+func VerbBase(v string) string {
+	v = strings.ToLower(strings.TrimSpace(v))
+	if v == "" {
+		return v
+	}
+	if base, ok := irregularVerbs[v]; ok {
+		return base
+	}
+	// -ies -> -y  (notifies -> notify)
+	if strings.HasSuffix(v, "ies") && len(v) > 4 {
+		return v[:len(v)-3] + "y"
+	}
+	// -sses/-shes/-ches/-xes/-zes -> strip "es" (processes -> process)
+	for _, suf := range []string{"sses", "shes", "ches", "xes", "zes"} {
+		if strings.HasSuffix(v, suf) && len(v) > len(suf)+1 {
+			return v[:len(v)-2]
+		}
+	}
+	// -oes -> -o (goes handled irregularly; "does" too)
+	// -es where the stem ends in a sibilant was handled above; otherwise
+	// plain -s third person: collects -> collect.
+	if strings.HasSuffix(v, "s") && !strings.HasSuffix(v, "ss") && !strings.HasSuffix(v, "us") && len(v) > 3 {
+		return v[:len(v)-1]
+	}
+	// -ied -> -y (applied -> apply)
+	if strings.HasSuffix(v, "ied") && len(v) > 4 {
+		return v[:len(v)-3] + "y"
+	}
+	// -ing forms: sharing -> share, collecting -> collect, running -> run.
+	if strings.HasSuffix(v, "ing") && len(v) > 4 {
+		stem := v[:len(v)-3]
+		if undoubles(stem) {
+			return stem[:len(stem)-1] // running -> run
+		}
+		if needsFinalE(stem) {
+			return stem + "e" // sharing -> share, using -> use
+		}
+		return stem
+	}
+	// -ed forms: collected -> collect, shared -> share, permitted -> permit.
+	if strings.HasSuffix(v, "ed") && len(v) > 3 {
+		stem := v[:len(v)-2]
+		if undoubles(stem) {
+			return stem[:len(stem)-1]
+		}
+		if needsFinalE(stem) {
+			return stem + "e" // shared -> share, stored -> store
+		}
+		return stem
+	}
+	return v
+}
+
+// undoubles reports whether a stem ends in a doubled consonant introduced by
+// inflection (permitt-, runn-) rather than one native to the base form
+// (process-, call-, staff-, buzz-).
+func undoubles(stem string) bool {
+	n := len(stem)
+	if n < 3 || stem[n-1] != stem[n-2] || !consonant(stem[n-1]) {
+		return false
+	}
+	switch stem[n-1] {
+	case 's', 'l', 'f', 'z':
+		return false
+	}
+	return true
+}
+
+// verbsEndingInE lists stems (with the final e removed) whose base form
+// requires restoring a trailing "e" after stripping -ing/-ed.
+var verbsEndingInE = map[string]bool{
+	"shar": true, "stor": true, "us": true, "provid": true, "receiv": true,
+	"disclos": true, "delet": true, "analyz": true, "combin": true,
+	"updat": true, "creat": true, "manag": true, "serv": true, "chang": true,
+	"remov": true, "requir": true, "declin": true, "exchang": true,
+	"measur": true, "improv": true, "personaliz": true, "advertis": true,
+	"distribut": true, "sav": true, "captur": true, "integrat": true,
+	"operat": true, "communicat": true, "mak": true, "tak": true,
+	"enabl": true, "facilitat": true, "aggregat": true, "anonymiz": true,
+	"pseudonymiz": true, "validat": true, "verif": true, "complet": true,
+	"determin": true, "generat": true, "observ": true, "not": false,
+	"preserv": true, "reserv": true, "acquir": true, "insur": true,
+	"ensur": true, "licens": true, "promot": true, "rout": true,
+	"profil": true, "retriev": true, "trac": true, "translat": true,
+	"writ": true, "issu": true, "merg": true, "purchas": true,
+	"releas": true, "restor": true, "revok": true, "schedul": true,
+	"terminat": true, "fil": true, "engag": true,
+}
+
+func needsFinalE(stem string) bool {
+	if verbsEndingInE[stem] {
+		return true
+	}
+	// Heuristic: a stem ending in consonant+v / consonant+z / "at" from a
+	// Latinate verb usually restores e; keep this conservative and rely on
+	// the table for the rest.
+	if strings.HasSuffix(stem, "iv") || strings.HasSuffix(stem, "yz") {
+		return true
+	}
+	return false
+}
+
+// irregularPlurals maps plural nouns to singular for vocabulary common in
+// privacy policies.
+var irregularPlurals = map[string]string{
+	"children": "child", "people": "person", "men": "man", "women": "woman",
+	"feet": "foot", "teeth": "tooth", "geese": "goose", "mice": "mouse",
+	"criteria": "criterion", "data": "data", "media": "media",
+	"analyses": "analysis", "bases": "basis", "indices": "index",
+	"matrices": "matrix", "appendices": "appendix",
+	"cookies": "cookie", "movies": "movie", "selfies": "selfie",
+	"parties": "party", "countries": "country", "companies": "company",
+	"entities": "entity", "activities": "activity", "authorities": "authority",
+	"policies": "policy", "agencies": "agency", "categories": "category",
+	"identities": "identity", "technologies": "technology",
+	"histories": "history", "queries": "query", "libraries": "library",
+	"summaries": "summary", "capabilities": "capability",
+}
+
+// uncountable nouns are returned unchanged by Singular.
+var uncountable = map[string]bool{
+	"information": true, "data": true, "content": true, "software": true,
+	"advice": true, "news": true, "research": true, "feedback": true,
+	"analytics": true, "biometrics": true, "demographics": true,
+	"metadata": true, "access": true, "consent": true, "status": true,
+	"address": true, "business": true, "process": true, "analysis": true,
+	"us": true, "gps": true, "sms": true, "its": true, "this": true,
+	"series": true, "species": true, "premises": true, "settings": false,
+}
+
+// Singular reduces an English noun (or the head noun of a lowercased noun
+// phrase's final word) to singular: "email addresses" -> "email address",
+// "cookies" -> "cookie", "children" -> "child". Multi-word phrases have only
+// their final word singularized, matching the paper's normalization rule.
+func Singular(noun string) string {
+	noun = strings.TrimSpace(noun)
+	if noun == "" {
+		return noun
+	}
+	// The head noun of "X of Y" phrases is in X ("email addresses of
+	// contacts" -> "email address of contacts"); the complement keeps its
+	// number.
+	if j := strings.Index(noun, " of "); j >= 0 {
+		return Singular(noun[:j]) + noun[j:]
+	}
+	// Otherwise singularize only the final word of the phrase.
+	if j := strings.LastIndexByte(noun, ' '); j >= 0 {
+		return noun[:j+1] + Singular(noun[j+1:])
+	}
+	lower := strings.ToLower(noun)
+	if uncountable[lower] {
+		return noun
+	}
+	if s, ok := irregularPlurals[lower]; ok {
+		return s
+	}
+	// -ies -> -y
+	if strings.HasSuffix(lower, "ies") && len(lower) > 4 {
+		return noun[:len(noun)-3] + "y"
+	}
+	// -ves -> -f / -fe (lives -> life is irregular enough to skip; devices
+	// policies rarely use these).
+	if strings.HasSuffix(lower, "ves") && len(lower) > 4 {
+		return noun[:len(noun)-3] + "f"
+	}
+	// -sses/-shes/-ches/-xes/-zes -> strip "es"
+	for _, suf := range []string{"sses", "shes", "ches", "xes", "zes", "oes"} {
+		if strings.HasSuffix(lower, suf) && len(lower) > len(suf)+1 {
+			return noun[:len(noun)-2]
+		}
+	}
+	// plain -s
+	if strings.HasSuffix(lower, "s") && !strings.HasSuffix(lower, "ss") && !strings.HasSuffix(lower, "us") && !strings.HasSuffix(lower, "is") && len(lower) > 3 {
+		return noun[:len(noun)-1]
+	}
+	return noun
+}

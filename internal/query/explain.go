@@ -1,0 +1,110 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+	"github.com/privacy-quagmire/quagmire/internal/graph"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+	"github.com/privacy-quagmire/quagmire/internal/smt"
+)
+
+// Explanation is the minimal evidence for a VALID verdict: a subset of
+// policy edges that still entails the query (a deletion-minimized unsat
+// core over the practice facts). Legal reviewers get exactly the
+// statements that justify the answer.
+type Explanation struct {
+	// Verdict echoes the query outcome the explanation supports.
+	Verdict Verdict `json:"verdict"`
+	// Evidence lists the minimal edges, in the paper's edge notation.
+	Evidence []string `json:"evidence"`
+	// SolverCalls counts the minimization effort.
+	SolverCalls int `json:"solver_calls"`
+}
+
+// ExplainValid minimizes the edge set supporting a VALID verdict by
+// deletion: each edge is dropped in turn and the query re-checked; edges
+// whose removal flips the verdict are essential. Returns an error when the
+// query is not VALID in the first place.
+func (e *Engine) ExplainValid(ctx context.Context, p llm.ParamSet) (*Explanation, error) {
+	actorRole, otherRole := llm.FlowRoles(p)
+	trans := map[string]string{}
+	actor, err := e.translate(ctx, actorRole, trans)
+	if err != nil {
+		return nil, err
+	}
+	data, err := e.translate(ctx, p.DataType, trans)
+	if err != nil {
+		return nil, err
+	}
+	other := ""
+	if otherRole != "" && otherRole != actorRole && otherRole != "user" {
+		if other, err = e.translate(ctx, otherRole, trans); err != nil {
+			return nil, err
+		}
+	}
+	action := nlp.VerbBase(p.Action)
+	edges := e.relevantEdges(actor, action, data, other)
+
+	calls := 0
+	entails := func(subset []*graph.Edge) (bool, error) {
+		calls++
+		formula, _ := e.buildFormula(subset, actor, action, data, other)
+		if e.SimplifyFOL {
+			formula = fol.Simplify(formula)
+		}
+		solver := smt.NewSolver()
+		solver.Limits = e.Limits
+		solver.Assert(formula)
+		res := solver.CheckSat()
+		if res.Status == smt.Unknown {
+			return false, fmt.Errorf("query: explanation solve budget exhausted (%s)", res.Reason)
+		}
+		return res.Status == smt.Unsat, nil
+	}
+
+	valid, err := entails(edges)
+	if err != nil {
+		return nil, err
+	}
+	if !valid {
+		return nil, fmt.Errorf("query: verdict is not VALID; nothing to explain")
+	}
+
+	// Deletion-based minimization: drop edges one at a time; keep the
+	// drop when the entailment survives.
+	core := append([]*graph.Edge(nil), edges...)
+	for i := 0; i < len(core); {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		candidate := make([]*graph.Edge, 0, len(core)-1)
+		candidate = append(candidate, core[:i]...)
+		candidate = append(candidate, core[i+1:]...)
+		still, err := entails(candidate)
+		if err != nil {
+			return nil, err
+		}
+		if still {
+			core = candidate // edge i was inessential
+		} else {
+			i++ // edge i is essential
+		}
+	}
+	exp := &Explanation{Verdict: Valid, SolverCalls: calls}
+	for _, ed := range core {
+		exp.Evidence = append(exp.Evidence, ed.String())
+	}
+	return exp, nil
+}
+
+// ExplainQuestion parses a natural-language query and runs ExplainValid.
+func (e *Engine) ExplainQuestion(ctx context.Context, question string) (*Explanation, error) {
+	p, err := e.parseQuery(ctx, question)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExplainValid(ctx, p)
+}

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+)
+
+func TestExplainValidMinimizesEvidence(t *testing.T) {
+	eng := newEngine(t)
+	p := llm.ParamSet{Sender: "TikTak", Action: "share", DataType: "email address", Receiver: "advertising partner"}
+	exp, err := eng.ExplainValid(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Verdict != Valid {
+		t.Fatalf("verdict = %s", exp.Verdict)
+	}
+	// Minimal evidence: exactly the one share edge suffices.
+	if len(exp.Evidence) != 1 {
+		t.Fatalf("evidence = %v, want exactly one edge", exp.Evidence)
+	}
+	if !strings.Contains(exp.Evidence[0], "share") || !strings.Contains(exp.Evidence[0], "email address") {
+		t.Errorf("evidence = %v", exp.Evidence)
+	}
+	if exp.SolverCalls < 2 {
+		t.Errorf("solver calls = %d", exp.SolverCalls)
+	}
+	// The minimized set must still entail the query: re-verify by asking
+	// with the full engine (sanity cross-check).
+	res, err := eng.AskParams(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Error("query no longer valid?!")
+	}
+}
+
+func TestExplainValidRejectsInvalidQueries(t *testing.T) {
+	eng := newEngine(t)
+	p := llm.ParamSet{Sender: "TikTak", Action: "sell", DataType: "personal information", Receiver: "third party"}
+	if _, err := eng.ExplainValid(context.Background(), p); err == nil {
+		t.Error("explaining an invalid verdict should fail")
+	}
+}
+
+func TestExplainValidSubsumptionEvidence(t *testing.T) {
+	eng := newEngine(t)
+	if !eng.KG.DataH.Subsumes("contact information", "email address") {
+		t.Skip("hierarchy does not place email address under contact information")
+	}
+	// The general-category query is witnessed via subsumption; the
+	// evidence must include the specific email edge.
+	p := llm.ParamSet{Sender: "TikTak", Action: "share", DataType: "contact information", Receiver: "advertising partner"}
+	exp, err := eng.ExplainValid(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range exp.Evidence {
+		if strings.Contains(ev, "email address") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("subsumption witness missing from evidence: %v", exp.Evidence)
+	}
+}
+
+// Cross-check: every VALID verdict over the standard query set admits a
+// minimal explanation, and the explanation's evidence is nonempty.
+func TestValidAlwaysExplainable(t *testing.T) {
+	eng := newEngine(t)
+	for _, p := range []llm.ParamSet{
+		{Sender: "TikTak", Action: "share", DataType: "email address", Receiver: "advertising partner"},
+		{Sender: "user", Receiver: "TikTak", Action: "collect", DataType: "device information"},
+	} {
+		res, err := eng.AskParams(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Valid || len(res.ConditionalOn) > 0 {
+			continue // only unconditionally valid verdicts must explain
+		}
+		exp, err := eng.ExplainValid(context.Background(), p)
+		if err != nil {
+			t.Fatalf("valid verdict unexplainable for %+v: %v", p, err)
+		}
+		if len(exp.Evidence) == 0 {
+			t.Fatalf("empty evidence for %+v", p)
+		}
+	}
+}

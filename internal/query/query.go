@@ -1,0 +1,481 @@
+// Package query implements Phase 3 of the pipeline: semantic query
+// verification — Algorithm 1 lines 18–26. A natural-language query is
+// parsed into semantic roles, translated into policy vocabulary with
+// embedding search plus LLM equivalence verification, matched against a
+// hierarchy-closed subgraph, encoded as a first-order-logic formula,
+// compiled to SMT-LIB and checked by the SMT solver. "unsat" of the negated
+// implication means the query necessarily follows from the policy (VALID);
+// "sat" means it does not (INVALID); resource exhaustion is UNKNOWN.
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/embed"
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+	"github.com/privacy-quagmire/quagmire/internal/graph"
+	"github.com/privacy-quagmire/quagmire/internal/kg"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+	"github.com/privacy-quagmire/quagmire/internal/smt"
+	"github.com/privacy-quagmire/quagmire/internal/smtlib"
+)
+
+// Verdict is the paper's three-valued query outcome.
+type Verdict string
+
+// Verdicts.
+const (
+	// Valid: the query necessarily follows from the policy.
+	Valid Verdict = "VALID"
+	// Invalid: the query does not necessarily follow.
+	Invalid Verdict = "INVALID"
+	// Unknown: the solver exhausted its budget or the fragment is
+	// incomplete; human judgment or more budget is needed.
+	Unknown Verdict = "UNKNOWN"
+)
+
+// Result is the full Phase 3 output for one query.
+type Result struct {
+	// Verdict is the three-valued outcome.
+	Verdict Verdict `json:"verdict"`
+	// Translations maps query terms to the policy vocabulary terms they
+	// resolved to.
+	Translations map[string]string `json:"translations,omitempty"`
+	// MatchedEdges are the subgraph edges relevant to the query.
+	MatchedEdges []string `json:"matched_edges,omitempty"`
+	// Formula is the generated FOL formula (pretty-printed).
+	Formula string `json:"formula"`
+	// Script is the generated SMT-LIB v2 text.
+	Script string `json:"script"`
+	// Placeholders lists uninterpreted ambiguity predicates in the
+	// formula; non-empty placeholders mean the verdict is conditional on
+	// human interpretation of those terms.
+	Placeholders []string `json:"placeholders,omitempty"`
+	// SMT is the raw solver result.
+	SMT smt.Result `json:"-"`
+	// FormulaSize is the FOL node count, the complexity proxy reported by
+	// the benchmarks.
+	FormulaSize int `json:"formula_size"`
+	// ConditionalOn, when non-empty, means the verdict became VALID only
+	// under the assumption that these vague placeholder conditions hold —
+	// the explicit "human judgment required" signal of §2 Phase 3.
+	ConditionalOn []string `json:"conditional_on,omitempty"`
+	// Contradiction marks that the relevant policy statements are
+	// unsatisfiable on their own (an unconditional allow/deny conflict) —
+	// the PolicyLint-style apparent contradiction surfaced for review.
+	Contradiction bool `json:"contradiction,omitempty"`
+}
+
+// Engine answers queries against one knowledge graph.
+type Engine struct {
+	// KG is the policy's knowledge graph; required.
+	KG *kg.KnowledgeGraph
+	// Client verifies semantic equivalence of term pairs; required.
+	Client llm.Client
+	// Model is the embedding model for vocabulary translation; required.
+	Model *embed.Model
+	// TopK is the number of embedding candidates LLM-verified per term
+	// (the paper uses k=10).
+	TopK int
+	// SubgraphDepth bounds graph traversal around matched nodes.
+	SubgraphDepth int
+	// Limits bounds the SMT solver.
+	Limits smt.Limits
+	// SimplifyFOL enables formula simplification before encoding (the
+	// paper's proposed mitigation; benchmarked as ablation A3).
+	SimplifyFOL bool
+	// WholePolicy disables subgraph extraction and encodes every edge,
+	// reproducing the paper's full-formula solver blow-up.
+	WholePolicy bool
+	// NoHierarchy disables subsumption reasoning (hierarchy closure and
+	// subtype facts), leaving only exact matches — ablation A1.
+	NoHierarchy bool
+
+	index *embed.Index
+}
+
+// NewEngine builds an engine with pre-computed embeddings for all graph
+// elements (Algorithm 1 line 17).
+func NewEngine(k *kg.KnowledgeGraph, client llm.Client, model *embed.Model) *Engine {
+	e := &Engine{
+		KG: k, Client: client, Model: model,
+		TopK: 10, SubgraphDepth: 2, SimplifyFOL: true,
+	}
+	e.index = embed.NewIndex(model)
+	for _, n := range k.ED.Nodes() {
+		e.index.Add("node:"+n.ID, n.ID)
+	}
+	// Edge representations: source+action+target concatenations, "for
+	// more accurate matching" (§3).
+	for i, ed := range k.ED.Edges() {
+		e.index.Add(fmt.Sprintf("edge:%d", i), ed.From+" "+ed.Label+" "+ed.To)
+	}
+	for _, term := range k.DataH.Terms() {
+		e.index.Add("node:"+term, term)
+	}
+	return e
+}
+
+// Ask answers a natural-language query.
+func (e *Engine) Ask(ctx context.Context, q string) (*Result, error) {
+	params, err := e.parseQuery(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return e.AskParams(ctx, params)
+}
+
+// AskParams answers a query already parsed into semantic roles.
+func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error) {
+	res := &Result{Translations: map[string]string{}}
+
+	// Map flow roles onto the graph's actor/counterparty convention.
+	actorRole, otherRole := llm.FlowRoles(p)
+	actor, err := e.translate(ctx, actorRole, res.Translations)
+	if err != nil {
+		return nil, err
+	}
+	data, err := e.translate(ctx, p.DataType, res.Translations)
+	if err != nil {
+		return nil, err
+	}
+	other := ""
+	if otherRole != "" && otherRole != actorRole && otherRole != "user" {
+		other, err = e.translate(ctx, otherRole, res.Translations)
+		if err != nil {
+			return nil, err
+		}
+	}
+	action := nlp.VerbBase(p.Action)
+
+	// Subgraph: matched nodes, hierarchy closure, local traversal.
+	edges := e.relevantEdges(actor, action, data, other)
+	for _, ed := range edges {
+		res.MatchedEdges = append(res.MatchedEdges, ed.String())
+	}
+
+	formula, placeholders := e.buildFormula(edges, actor, action, data, other)
+	if e.SimplifyFOL {
+		formula = fol.Simplify(formula)
+	}
+	res.Formula = formula.String()
+	res.FormulaSize = formula.Size()
+	res.Placeholders = placeholders
+
+	script, err := smtlib.Compile(formula, smtlib.CompileOptions{
+		Negate:  false, // negation is built into the implication encoding
+		Comment: "privacy query verification",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("query: compile: %w", err)
+	}
+	res.Script = script.String()
+
+	smtRes, err := smt.SolveScript(res.Script, e.Limits)
+	if err != nil {
+		return nil, fmt.Errorf("query: solve: %w", err)
+	}
+	res.SMT = smtRes
+	switch smtRes.Status {
+	case smt.Unsat:
+		res.Verdict = Valid
+		// Distinguish "follows from the policy" from "the policy itself
+		// is contradictory" (ex falso): re-check the axioms alone.
+		if e.policyAloneUnsat(edges) {
+			res.Verdict = Unknown
+			res.Contradiction = true
+		}
+	case smt.Sat:
+		res.Verdict = Invalid
+		// The query may hold conditionally: retry assuming every vague
+		// placeholder condition is true.
+		if len(placeholders) > 0 {
+			if v := e.solveAssumingConditions(formula, placeholders); v == smt.Unsat {
+				res.Verdict = Valid
+				res.ConditionalOn = placeholders
+			}
+		}
+	default:
+		res.Verdict = Unknown
+	}
+	return res, nil
+}
+
+// policyAloneUnsat checks whether the subgraph's axioms are contradictory
+// without the query goal.
+func (e *Engine) policyAloneUnsat(edges []*graph.Edge) bool {
+	axioms, _ := e.buildFormula(edges, "", "", "", "")
+	// Drop the goal conjunct: rebuild policy-only by removing the final
+	// ¬goal (buildFormula returns And(policy, ¬goal)).
+	if axioms.Op == fol.OpAnd && len(axioms.Sub) == 2 {
+		axioms = axioms.Sub[0]
+	}
+	solver := smt.NewSolver()
+	solver.Limits = e.Limits
+	solver.Assert(axioms)
+	return solver.CheckSat().Status == smt.Unsat
+}
+
+// solveAssumingConditions re-solves with every placeholder condition
+// asserted true (SMT-LIB check-sat-assuming).
+func (e *Engine) solveAssumingConditions(formula *fol.Formula, placeholders []string) smt.Status {
+	solver := smt.NewSolver()
+	solver.Limits = e.Limits
+	solver.Assert(formula)
+	assumptions := make([]*fol.Formula, len(placeholders))
+	for i, p := range placeholders {
+		assumptions[i] = fol.UninterpretedPred(p)
+	}
+	return solver.CheckSatAssuming(assumptions...).Status
+}
+
+// parseQuery extracts semantic roles from the query text, reusing the
+// extraction prompt with the graph's company for coreference.
+func (e *Engine) parseQuery(ctx context.Context, q string) (llm.ParamSet, error) {
+	q = strings.TrimSpace(q)
+	q = strings.TrimSuffix(q, "?")
+	// Normalize interrogative openers so the role extractor sees a
+	// declarative statement.
+	for _, prefix := range []string{"does ", "Does ", "will ", "Will ", "can ", "Can ", "may ", "May ", "do ", "Do "} {
+		q = strings.TrimPrefix(q, prefix)
+	}
+	q = strings.ReplaceAll(q, " my ", " your ")
+	resp, err := e.Client.Complete(ctx, llm.ExtractParamsPrompt(e.KG.Company, q))
+	if err != nil {
+		return llm.ParamSet{}, fmt.Errorf("query: parse: %w", err)
+	}
+	var params []llm.ParamSet
+	if err := json.Unmarshal([]byte(resp.Text), &params); err != nil || len(params) == 0 {
+		return llm.ParamSet{}, fmt.Errorf("query: parse: %w: %q", llm.ErrMalformedOutput, resp.Text)
+	}
+	return params[0], nil
+}
+
+// translate maps a query term into policy vocabulary: top-k embedding
+// candidates, each verified by the LLM; the best verified candidate wins.
+func (e *Engine) translate(ctx context.Context, term string, record map[string]string) (string, error) {
+	term = nlp.CanonicalTerm(term)
+	if term == "" {
+		return "", nil
+	}
+	if e.KG.ED.HasNode(term) || e.KG.DataH.Has(term) {
+		record[term] = term
+		return term, nil
+	}
+	// Proper-cased nodes (company name) match case-insensitively.
+	for _, n := range e.KG.ED.Nodes() {
+		if strings.EqualFold(n.ID, term) {
+			record[term] = n.ID
+			return n.ID, nil
+		}
+	}
+	k := e.TopK
+	if k <= 0 {
+		k = 10
+	}
+	for _, m := range e.index.Search(term, k) {
+		if !strings.HasPrefix(m.Key, "node:") {
+			continue
+		}
+		cand := strings.TrimPrefix(m.Key, "node:")
+		resp, err := e.Client.Complete(ctx, llm.SemanticEquivPrompt(term, cand))
+		if err != nil {
+			return "", fmt.Errorf("query: equivalence check: %w", err)
+		}
+		var out struct {
+			Equivalent bool `json:"equivalent"`
+		}
+		if err := json.Unmarshal([]byte(resp.Text), &out); err != nil {
+			return "", fmt.Errorf("query: equivalence check: %w: %q", llm.ErrMalformedOutput, resp.Text)
+		}
+		if out.Equivalent {
+			record[term] = cand
+			return cand, nil
+		}
+	}
+	// No translation: the term stays as-is (it will be undefined in the
+	// policy, making incompleteness explicit).
+	record[term] = term
+	return term, nil
+}
+
+// relevantEdges extracts the query's subgraph: edges touching the matched
+// terms or any hierarchy-related data type, within SubgraphDepth hops.
+func (e *Engine) relevantEdges(actor, action, data, other string) []*graph.Edge {
+	if e.WholePolicy {
+		return e.KG.ED.Edges()
+	}
+	keep := map[string]bool{}
+	mark := func(id string) {
+		if id == "" {
+			return
+		}
+		for n := range e.KG.ED.Neighborhood(id, e.SubgraphDepth) {
+			keep[n] = true
+		}
+		keep[id] = true
+	}
+	mark(actor)
+	mark(other)
+	mark(data)
+	// Hierarchy closure over the data term: ancestors and descendants are
+	// candidates for subsumption reasoning.
+	if !e.NoHierarchy && e.KG.DataH.Has(data) {
+		for _, t := range e.KG.DataH.Descendants(data) {
+			mark(t)
+		}
+		for _, t := range e.KG.DataH.Ancestors(data) {
+			if t != e.KG.DataH.Root {
+				keep[t] = true
+			}
+		}
+	}
+	var out []*graph.Edge
+	for _, ed := range e.KG.ED.Edges() {
+		if keep[ed.From] && keep[ed.To] {
+			if matchesAction(ed.Label, action) || actionNeutral(action) {
+				out = append(out, ed)
+			}
+		}
+	}
+	return out
+}
+
+func matchesAction(edgeAction, queryAction string) bool {
+	if queryAction == "" {
+		return true
+	}
+	return nlp.VerbBase(baseWord(edgeAction)) == nlp.VerbBase(baseWord(queryAction)) ||
+		strings.Contains(edgeAction, queryAction)
+}
+
+func actionNeutral(a string) bool { return a == "" }
+
+func baseWord(s string) string {
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// sym sanitizes a term into an SMT-LIB-friendly symbol.
+func sym(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '\'' || r == '/':
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out == "" || out[0] >= '0' && out[0] <= '9' {
+		out = "t_" + out
+	}
+	return out
+}
+
+// condSym builds the uninterpreted predicate name for a condition.
+func condSym(cond string) string { return "cond_" + sym(cond) }
+
+// buildFormula encodes the subgraph and query per §3: policy statements
+// become implications/facts over a practice predicate, the hierarchy
+// contributes subtype facts plus transitivity, conditions become boolean
+// predicates (vague ones uninterpreted), and the query becomes an
+// existentially quantified goal. The returned formula asserts
+// policy ∧ ¬goal, so unsat ⇔ the query follows from the policy.
+func (e *Engine) buildFormula(edges []*graph.Edge, actor, action, data, other string) (*fol.Formula, []string) {
+	var axioms []*fol.Formula
+	placeholderSet := map[string]bool{}
+
+	// Practice facts. practice(actor, action, data, other).
+	for _, ed := range edges {
+		otherTerm := ed.Other
+		if otherTerm == "" {
+			otherTerm = ed.From
+		}
+		atom := fol.Pred("practice",
+			fol.Const(sym(ed.From)),
+			fol.Const(sym(ed.Label)),
+			fol.Const(sym(ed.To)),
+			fol.Const(sym(otherTerm)),
+		)
+		var fact *fol.Formula = atom
+		if ed.Permission == "deny" {
+			fact = fol.Not(atom)
+		}
+		if ed.Condition != "" {
+			cond := fol.UninterpretedPred(condSym(ed.Condition))
+			placeholderSet[condSym(ed.Condition)] = true
+			fact = fol.Implies(cond, fact)
+		}
+		axioms = append(axioms, fact)
+	}
+
+	// Subtype facts over the data types seen in the subgraph plus the
+	// query data term, restricted to hierarchy-related pairs.
+	terms := map[string]bool{}
+	if data != "" {
+		terms[data] = true
+	}
+	for _, ed := range edges {
+		terms[ed.To] = true
+	}
+	var termList []string
+	for t := range terms {
+		termList = append(termList, t)
+	}
+	sort.Strings(termList)
+	if !e.NoHierarchy {
+		for _, a := range termList {
+			for _, b := range termList {
+				if a != b && e.KG.DataH.Subsumes(b, a) {
+					axioms = append(axioms, fol.Pred("subtype", fol.Const(sym(a)), fol.Const(sym(b))))
+				}
+			}
+		}
+	}
+	// Reflexivity and transitivity of subtype (quantified axioms — these
+	// are what push full-policy formulas beyond the solver's reach).
+	axioms = append(axioms,
+		fol.Forall("x", fol.Pred("subtype", fol.Var("x"), fol.Var("x"))),
+		fol.Forall("x", fol.Forall("y", fol.Forall("z",
+			fol.Implies(
+				fol.And(
+					fol.Pred("subtype", fol.Var("x"), fol.Var("y")),
+					fol.Pred("subtype", fol.Var("y"), fol.Var("z")),
+				),
+				fol.Pred("subtype", fol.Var("x"), fol.Var("z")),
+			)))),
+	)
+
+	// Goal: ∃d. subtype(d, data) ∧ practice(actor, action, d, other').
+	// When the query names a receiver, it must match; otherwise any
+	// counterparty witnesses the practice.
+	goalPractice := func(d fol.Term) *fol.Formula {
+		if other != "" {
+			return fol.Pred("practice", fol.Const(sym(actor)), fol.Const(sym(action)), d, fol.Const(sym(other)))
+		}
+		return fol.Exists("o", fol.Pred("practice", fol.Const(sym(actor)), fol.Const(sym(action)), d, fol.Var("o")))
+	}
+	goal := fol.Exists("d", fol.And(
+		fol.Pred("subtype", fol.Var("d"), fol.Const(sym(data))),
+		goalPractice(fol.Var("d")),
+	))
+
+	placeholders := make([]string, 0, len(placeholderSet))
+	for p := range placeholderSet {
+		placeholders = append(placeholders, p)
+	}
+	sort.Strings(placeholders)
+	return fol.And(fol.And(axioms...), fol.Not(goal)), placeholders
+}

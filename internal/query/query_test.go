@@ -1,0 +1,208 @@
+package query
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/embed"
+	"github.com/privacy-quagmire/quagmire/internal/extract"
+	"github.com/privacy-quagmire/quagmire/internal/kg"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/taxonomy"
+)
+
+const policy = `# TikTak Privacy Policy
+
+## Information We Collect
+
+When you create an account, you may provide your email. We collect device information automatically.
+
+We share email addresses with advertising partners.
+
+We share usage data with service providers for legitimate business purposes.
+
+## Your Choices
+
+We do not sell your personal information.`
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	sim := llm.NewSim()
+	e := extract.New(sim)
+	ex, err := e.ExtractPolicy(context.Background(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := kg.NewBuilder(&taxonomy.Builder{Client: sim})
+	k, err := b.Build(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(k, sim, embed.NewModel("text-embedding-sim"))
+}
+
+func TestAskValidShare(t *testing.T) {
+	eng := newEngine(t)
+	res, err := eng.Ask(context.Background(), "Does TikTak share my email address with advertising partners?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %s (smt %s, reason %q)\nformula: %s\nedges: %v",
+			res.Verdict, res.SMT.Status, res.SMT.Reason, res.Formula, res.MatchedEdges)
+	}
+	if len(res.MatchedEdges) == 0 {
+		t.Error("no matched edges recorded")
+	}
+	if !strings.Contains(res.Script, "check-sat") {
+		t.Error("script missing check-sat")
+	}
+}
+
+func TestAskVocabularyTranslation(t *testing.T) {
+	eng := newEngine(t)
+	// "email address" must translate to the policy's "email address" node
+	// even though the query says "e-mail addresses".
+	res, err := eng.Ask(context.Background(), "Does TikTak share my e-mail addresses with advertising partners?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %s; translations = %v", res.Verdict, res.Translations)
+	}
+	found := false
+	for q, p := range res.Translations {
+		if strings.Contains(q, "mail") && strings.Contains(p, "email") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no email translation recorded: %v", res.Translations)
+	}
+}
+
+func TestAskInvalidUnrelated(t *testing.T) {
+	eng := newEngine(t)
+	res, err := eng.Ask(context.Background(), "Does TikTak share my medical records with insurance companies?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Invalid {
+		t.Fatalf("verdict = %s (smt %s %q)", res.Verdict, res.SMT.Status, res.SMT.Reason)
+	}
+}
+
+func TestAskConditionalValidity(t *testing.T) {
+	eng := newEngine(t)
+	// Usage-data sharing is guarded by the vague "legitimate business
+	// purposes" condition: not unconditionally valid, but valid assuming
+	// the condition holds — and the placeholder is surfaced.
+	res, err := eng.Ask(context.Background(), "Does TikTak share my usage data with service providers?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid || len(res.ConditionalOn) == 0 {
+		t.Fatalf("verdict = %s, conditionalOn = %v (placeholders %v)", res.Verdict, res.ConditionalOn, res.Placeholders)
+	}
+	if len(res.Placeholders) == 0 {
+		t.Error("vague condition not surfaced as placeholder")
+	}
+}
+
+func TestAskSubsumptionInference(t *testing.T) {
+	eng := newEngine(t)
+	// "contact information" subsumes "email address" in the hierarchy; a
+	// query about the general category is witnessed by the specific edge.
+	if !eng.KG.DataH.Subsumes("contact information", "email address") {
+		t.Skip("hierarchy does not place email address under contact information")
+	}
+	res, err := eng.AskParams(context.Background(), llm.ParamSet{
+		Sender: "TikTak", Action: "share", DataType: "contact information",
+		Receiver: "advertising partner",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Fatalf("subsumption query verdict = %s\nformula: %s", res.Verdict, res.Formula)
+	}
+}
+
+func TestAskDeniedPractice(t *testing.T) {
+	eng := newEngine(t)
+	res, err := eng.Ask(context.Background(), "Does TikTak sell my personal information?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The policy denies the practice: the query must not follow.
+	if res.Verdict != Invalid {
+		t.Fatalf("verdict = %s\nformula: %s", res.Verdict, res.Formula)
+	}
+}
+
+func TestWholePolicyBlowup(t *testing.T) {
+	eng := newEngine(t)
+	eng.WholePolicy = true
+	eng.SimplifyFOL = false
+	res, err := eng.AskParams(context.Background(), llm.ParamSet{
+		Sender: "TikTak", Action: "share", DataType: "email address",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := newEngine(t)
+	subRes, err := sub.AskParams(context.Background(), llm.ParamSet{
+		Sender: "TikTak", Action: "share", DataType: "email address",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FormulaSize <= subRes.FormulaSize {
+		t.Errorf("whole-policy formula (%d) not larger than subgraph formula (%d)",
+			res.FormulaSize, subRes.FormulaSize)
+	}
+}
+
+func TestResultScriptIsValidSMTLIB(t *testing.T) {
+	eng := newEngine(t)
+	res, err := eng.Ask(context.Background(), "Does TikTak share my email address with advertising partners?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The script must parse and decode as standalone SMT-LIB.
+	if !strings.Contains(res.Script, "(set-logic UF)") || !strings.Contains(res.Script, "(declare-sort U 0)") {
+		t.Errorf("script missing standard header:\n%s", res.Script)
+	}
+}
+
+func TestSymSanitization(t *testing.T) {
+	cases := map[string]string{
+		"email address":       "email_address",
+		"user's data":         "user_s_data",
+		"3rd party":           "t_3rd_party",
+		"":                    "unknown",
+		"Voice-Enabled Stuff": "voice_enabled_stuff",
+	}
+	for in, want := range cases {
+		if got := sym(in); got != want {
+			t.Errorf("sym(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAskParamsDeterministic(t *testing.T) {
+	eng := newEngine(t)
+	p := llm.ParamSet{Sender: "TikTak", Action: "share", DataType: "email address", Receiver: "advertising partner"}
+	r1, err := eng.AskParams(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.AskParams(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Verdict != r2.Verdict || r1.Formula != r2.Formula || r1.Script != r2.Script {
+		t.Error("nondeterministic query answering")
+	}
+}

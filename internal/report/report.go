@@ -1,0 +1,200 @@
+// Package report renders a policy analysis as a human-readable markdown
+// audit report — the deliverable §5 describes for legal teams: extraction
+// statistics, the data-practice inventory grouped by actor, every vague
+// condition needing human interpretation, apparent contradictions with
+// their exception/conflict classification, and the data-type hierarchy.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/baseline"
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/graph"
+)
+
+// Options controls report rendering.
+type Options struct {
+	// MaxEdgesPerActor caps the practice listing per actor (0 = 10).
+	MaxEdgesPerActor int
+	// IncludeHierarchy adds the data-type hierarchy section.
+	IncludeHierarchy bool
+}
+
+// Render produces the markdown audit report for an analysis.
+func Render(a *core.Analysis, opts Options) string {
+	maxEdges := opts.MaxEdgesPerActor
+	if maxEdges <= 0 {
+		maxEdges = 10
+	}
+	var b strings.Builder
+	st := a.Stats()
+	fmt.Fprintf(&b, "# Privacy Policy Audit — %s\n\n", a.Extraction.Company)
+
+	fmt.Fprintf(&b, "## Extraction statistics\n\n")
+	fmt.Fprintf(&b, "| Metric | Value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| Statements | %d |\n", len(a.Extraction.Segments))
+	fmt.Fprintf(&b, "| Data practices | %d |\n", len(a.Extraction.Practices))
+	fmt.Fprintf(&b, "| Graph nodes | %d |\n| Graph edges | %d |\n", st.Nodes, st.Edges)
+	fmt.Fprintf(&b, "| Entities | %d |\n| Data types | %d |\n\n", st.Entities, st.DataTypes)
+
+	b.WriteString(renderCategories(a))
+	b.WriteString(renderPractices(a, maxEdges))
+	b.WriteString(renderVague(a))
+	b.WriteString(renderContradictions(a))
+	if opts.IncludeHierarchy {
+		b.WriteString(renderHierarchy(a.KG.DataH))
+	}
+	return b.String()
+}
+
+// renderCategories summarizes the OPP-115 category distribution of the
+// extracted practices.
+func renderCategories(a *core.Analysis) string {
+	counts := map[string]int{}
+	for _, p := range a.Extraction.Practices {
+		for _, c := range p.OPPCategories {
+			counts[c]++
+		}
+	}
+	var b strings.Builder
+	b.WriteString("## OPP-115 category distribution\n\n")
+	if len(counts) == 0 {
+		b.WriteString("_No categorized practices._\n\n")
+		return b.String()
+	}
+	cats := make([]string, 0, len(counts))
+	for c := range counts {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if counts[cats[i]] != counts[cats[j]] {
+			return counts[cats[i]] > counts[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	b.WriteString("| Category | Practices |\n|---|---|\n")
+	for _, c := range cats {
+		fmt.Fprintf(&b, "| %s | %d |\n", c, counts[c])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// renderPractices groups edges by acting party.
+func renderPractices(a *core.Analysis, maxEdges int) string {
+	var b strings.Builder
+	b.WriteString("## Data practices by actor\n\n")
+	byActor := map[string][]*graph.Edge{}
+	for _, e := range a.KG.ED.Edges() {
+		byActor[e.From] = append(byActor[e.From], e)
+	}
+	actors := make([]string, 0, len(byActor))
+	for actor := range byActor {
+		actors = append(actors, actor)
+	}
+	// Most active actors first; ties alphabetical.
+	sort.Slice(actors, func(i, j int) bool {
+		if len(byActor[actors[i]]) != len(byActor[actors[j]]) {
+			return len(byActor[actors[i]]) > len(byActor[actors[j]])
+		}
+		return actors[i] < actors[j]
+	})
+	for _, actor := range actors {
+		edges := byActor[actor]
+		fmt.Fprintf(&b, "### %s (%d practices)\n\n", actor, len(edges))
+		for i, e := range edges {
+			if i >= maxEdges {
+				fmt.Fprintf(&b, "- … and %d more\n", len(edges)-maxEdges)
+				break
+			}
+			line := fmt.Sprintf("- **%s** %s", e.Label, e.To)
+			if e.Other != "" {
+				line += fmt.Sprintf(" _(with %s)_", e.Other)
+			}
+			if e.Permission == "deny" {
+				line = fmt.Sprintf("- **never %s** %s", e.Label, e.To)
+			}
+			if e.Condition != "" {
+				line += fmt.Sprintf(" — when %s", e.Condition)
+			}
+			b.WriteString(line + "\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderVague lists the vague conditions with occurrence counts.
+func renderVague(a *core.Analysis) string {
+	counts := map[string]int{}
+	for _, p := range a.Extraction.Practices {
+		for _, v := range p.VagueTerms {
+			counts[v]++
+		}
+	}
+	var b strings.Builder
+	b.WriteString("## Vague conditions requiring human interpretation\n\n")
+	if len(counts) == 0 {
+		b.WriteString("_None detected._\n\n")
+		return b.String()
+	}
+	terms := make([]string, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if counts[terms[i]] != counts[terms[j]] {
+			return counts[terms[i]] > counts[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	b.WriteString("| Term | Occurrences |\n|---|---|\n")
+	for _, t := range terms {
+		fmt.Fprintf(&b, "| %s | %d |\n", t, counts[t])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// renderContradictions runs the condition-aware lint pass.
+func renderContradictions(a *core.Analysis) string {
+	rep := baseline.Lint(a.Extraction.Practices)
+	var b strings.Builder
+	b.WriteString("## Apparent contradictions\n\n")
+	if len(rep.Apparent) == 0 {
+		b.WriteString("_None detected._\n\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d apparent allow/deny conflicts: %d coherent exception patterns, %d genuine conflicts.\n\n",
+		len(rep.Apparent), rep.Exceptions, rep.Genuine)
+	for _, c := range rep.Apparent {
+		kind := "⚠ genuine conflict"
+		if c.ExceptionPattern {
+			kind = "coherent exception"
+		}
+		fmt.Fprintf(&b, "- [%s] allow `%s %s` (when %q) vs deny `%s %s` (when %q)\n",
+			kind, c.Allow.Action, c.Allow.DataType, c.Allow.Condition,
+			c.Deny.Action, c.Deny.DataType, c.Deny.Condition)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// renderHierarchy prints the data hierarchy as a nested list.
+func renderHierarchy(h *graph.Hierarchy) string {
+	var b strings.Builder
+	b.WriteString("## Data type hierarchy\n\n")
+	var walk func(term string, depth int)
+	walk = func(term string, depth int) {
+		fmt.Fprintf(&b, "%s- %s\n", strings.Repeat("  ", depth), term)
+		for _, c := range h.Children(term) {
+			walk(c, depth+1)
+		}
+	}
+	walk(h.Root, 0)
+	b.WriteString("\n")
+	return b.String()
+}

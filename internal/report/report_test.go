@@ -1,0 +1,102 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+)
+
+func analyzeMini(t *testing.T) *core.Analysis {
+	t.Helper()
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRenderSections(t *testing.T) {
+	a := analyzeMini(t)
+	out := Render(a, Options{IncludeHierarchy: true})
+	for _, want := range []string{
+		"# Privacy Policy Audit — Acme",
+		"## Extraction statistics",
+		"| Data practices |",
+		"## Data practices by actor",
+		"### Acme",
+		"## Vague conditions requiring human interpretation",
+		"legitimate business purpose",
+		"## Apparent contradictions",
+		"## Data type hierarchy",
+		"- data",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRenderDenialsAndConditions(t *testing.T) {
+	a := analyzeMini(t)
+	out := Render(a, Options{})
+	if !strings.Contains(out, "**never sell**") {
+		t.Error("denial not rendered as never-practice")
+	}
+	if !strings.Contains(out, "— when") {
+		t.Error("condition annotation missing")
+	}
+	if strings.Contains(out, "## Data type hierarchy") {
+		t.Error("hierarchy rendered without the option")
+	}
+}
+
+func TestRenderEdgeCap(t *testing.T) {
+	a := analyzeMini(t)
+	out := Render(a, Options{MaxEdgesPerActor: 1})
+	if !strings.Contains(out, "and") || !strings.Contains(out, "more") {
+		// Acme has several practices; with cap 1 the ellipsis must show.
+		t.Errorf("edge cap not applied:\n%s", out)
+	}
+}
+
+func TestRenderContradictionSection(t *testing.T) {
+	policyText := `# Acme Privacy Policy
+
+Acme ("we") explains its practices here.
+
+## Sharing
+
+We do not share your location data.
+
+If you enable location services, we share your location data with mapping services.`
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), policyText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(a, Options{})
+	if !strings.Contains(out, "coherent exception") {
+		t.Errorf("exception classification missing:\n%s", out)
+	}
+}
+
+func TestRenderCategoriesSection(t *testing.T) {
+	a := analyzeMini(t)
+	out := Render(a, Options{})
+	if !strings.Contains(out, "## OPP-115 category distribution") {
+		t.Fatal("category section missing")
+	}
+	if !strings.Contains(out, "First Party Collection/Use") {
+		t.Errorf("expected category row:\n%s", out)
+	}
+}

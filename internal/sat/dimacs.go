@@ -1,0 +1,92 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a DIMACS CNF problem into a fresh solver. The "p cnf"
+// header is validated when present but not required.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	declaredClauses := -1
+	clauses := 0
+	var cur []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			if _, err := strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad clause count in %q", line)
+			}
+			declaredClauses = n
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", f)
+			}
+			if v == 0 {
+				s.AddClause(cur...)
+				clauses++
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		s.AddClause(cur...)
+		clauses++
+	}
+	if declaredClauses >= 0 && clauses != declaredClauses {
+		return nil, fmt.Errorf("sat: header declares %d clauses, found %d", declaredClauses, clauses)
+	}
+	return s, nil
+}
+
+// WriteDIMACS writes the solver's original (non-learned) clauses in DIMACS
+// CNF format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	orig := 0
+	for _, c := range s.clauses {
+		if !c.learned {
+			orig++
+		}
+	}
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", s.NumVars(), orig); err != nil {
+		return err
+	}
+	for _, c := range s.clauses {
+		if c.learned {
+			continue
+		}
+		var b strings.Builder
+		for _, l := range c.lits {
+			fmt.Fprintf(&b, "%d ", int(l))
+		}
+		b.WriteString("0\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

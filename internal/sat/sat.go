@@ -1,0 +1,578 @@
+// Package sat implements a CDCL (conflict-driven clause learning) boolean
+// satisfiability solver: two-watched-literal propagation, first-UIP conflict
+// analysis, VSIDS-style activity ordering, phase saving, Luby restarts,
+// solving under assumptions, and deterministic resource budgets.
+//
+// It is the boolean core of the internal/smt solver, standing in for the
+// SAT engines inside CVC5/Z3 that the paper uses.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variables are numbered from 1; a positive Lit v asserts
+// variable v, a negative Lit -v asserts its negation. 0 is invalid.
+type Lit int
+
+// Neg returns the negation of the literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Var returns the literal's variable index (always positive).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+// String renders the literal as in DIMACS.
+func (l Lit) String() string { return fmt.Sprintf("%d", int(l)) }
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the resource budget was exhausted before a decision.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable under the assumptions.
+	Unsat
+)
+
+// String returns "sat", "unsat" or "unknown".
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrBudget is returned (wrapped in Unknown status) when the step budget is
+// exhausted.
+var ErrBudget = errors.New("sat: resource budget exhausted")
+
+// Stats reports solver effort counters.
+type Stats struct {
+	// Decisions counts branching decisions.
+	Decisions int64
+	// Propagations counts unit propagations.
+	Propagations int64
+	// Conflicts counts conflicts analyzed.
+	Conflicts int64
+	// Learned counts clauses learned.
+	Learned int64
+	// Restarts counts restarts performed.
+	Restarts int64
+}
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+// Solver is a CDCL SAT solver. The zero value is ready to use; add
+// variables implicitly by referencing them in AddClause.
+type Solver struct {
+	clauses  []*clause
+	watches  map[Lit][]*clause // literal -> clauses watching it
+	assign   []int8            // var -> lTrue/lFalse/lUndef
+	level    []int             // var -> decision level assigned at
+	reason   []*clause         // var -> implying clause
+	activity []float64         // var -> VSIDS activity
+	phase    []int8            // var -> saved phase
+	trail    []Lit
+	trailLim []int // decision level -> trail index
+	qhead    int
+	varInc   float64
+	stats    Stats
+	unsatNow bool // empty clause added
+	// modelOverride marks that assign holds a model copied from an
+	// assumption sub-solve rather than this solver's own trail.
+	modelOverride bool
+
+	// Budget caps total propagations+decisions; 0 means unlimited.
+	Budget int64
+	steps  int64
+
+	// MaxLearned caps retained learned clauses before garbage collection
+	// removes the low-activity half; 0 selects the default (8192).
+	MaxLearned int
+	claInc     float64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{watches: map[Lit][]*clause{}, varInc: 1, claInc: 1}
+}
+
+// NumVars returns the highest variable index seen.
+func (s *Solver) NumVars() int { return len(s.assign) - 1 }
+
+func (s *Solver) ensureVar(v int) {
+	for len(s.assign) <= v {
+		s.assign = append(s.assign, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.activity = append(s.activity, 0)
+		s.phase = append(s.phase, lFalse)
+	}
+}
+
+// AddClause adds a clause (a disjunction of literals). Duplicate literals
+// are removed; tautologies are ignored. Adding the empty clause makes the
+// instance trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) {
+	// Normalize: sort, dedupe, drop tautologies.
+	seen := map[Lit]bool{}
+	var norm []Lit
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		if seen[l.Neg()] {
+			return // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			norm = append(norm, l)
+			s.ensureVar(l.Var())
+		}
+	}
+	if len(norm) == 0 {
+		s.unsatNow = true
+		return
+	}
+	sort.Slice(norm, func(i, j int) bool { return norm[i] < norm[j] })
+	c := &clause{lits: norm}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+}
+
+func (s *Solver) attach(c *clause) {
+	if len(c.lits) == 1 {
+		return // units handled at solve start
+	}
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+}
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		return v
+	}
+	return -v
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.steps++
+		s.stats.Propagations++
+		neg := p.Neg()
+		ws := s.watches[neg]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if conflict != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == neg {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // no longer watching neg
+			}
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				conflict = c
+			}
+		}
+		s.watches[neg] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e100 {
+		for _, cl := range s.clauses {
+			cl.act *= 1e-100
+		}
+		s.claInc *= 1e-100
+	}
+}
+
+// reduceDB removes the low-activity half of the learned clauses, keeping
+// binary clauses and clauses that are the reason for a current assignment.
+func (s *Solver) reduceDB() {
+	reasons := map[*clause]bool{}
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil {
+			reasons[r] = true
+		}
+	}
+	var learned []*clause
+	for _, c := range s.clauses {
+		if c.learned && len(c.lits) > 2 && !reasons[c] {
+			learned = append(learned, c)
+		}
+	}
+	if len(learned) < 2 {
+		return
+	}
+	sort.Slice(learned, func(i, j int) bool { return learned[i].act < learned[j].act })
+	drop := map[*clause]bool{}
+	for _, c := range learned[:len(learned)/2] {
+		drop[c] = true
+	}
+	kept := s.clauses[:0]
+	for _, c := range s.clauses {
+		if drop[c] {
+			s.detach(c)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.clauses = kept
+}
+
+// detach removes the clause from its watch lists.
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0], c.lits[1]} {
+		list := s.watches[w]
+		for i, x := range list {
+			if x == c {
+				list[i] = list[len(list)-1]
+				s.watches[w] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis and returns the learned
+// clause and the backtrack level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learned := []Lit{0} // placeholder for the asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	var p Lit
+	c := conflict
+	idx := len(s.trail) - 1
+	for {
+		if c.learned {
+			s.bumpClause(c)
+		}
+		for _, q := range c.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learned = append(learned, q)
+				}
+			}
+		}
+		// Find next literal on trail to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		seen[p.Var()] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	learned[0] = p.Neg()
+	// Backtrack level: second-highest level in the clause.
+	bt := 0
+	for i := 1; i < len(learned); i++ {
+		if lv := s.level[learned[i].Var()]; lv > bt {
+			bt = lv
+			learned[1], learned[i] = learned[i], learned[1]
+		}
+	}
+	return learned, bt
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v]
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v < len(s.assign); v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// It returns Unknown when the step budget is exhausted.
+//
+// Assumption solving runs on a fresh internal solver seeded with the current
+// clause database plus the assumptions as unit clauses; the model (when Sat)
+// is copied back so Value/Model reflect the assumption run.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.unsatNow {
+		return Unsat
+	}
+	if len(assumptions) > 0 {
+		sub := New()
+		sub.Budget = s.Budget - s.steps
+		if s.Budget == 0 {
+			sub.Budget = 0
+		}
+		for _, c := range s.clauses {
+			if c.learned {
+				continue
+			}
+			sub.AddClause(append([]Lit(nil), c.lits...)...)
+		}
+		for _, a := range assumptions {
+			sub.AddClause(a)
+		}
+		st := sub.Solve()
+		s.steps += sub.steps
+		s.stats.Decisions += sub.stats.Decisions
+		s.stats.Propagations += sub.stats.Propagations
+		s.stats.Conflicts += sub.stats.Conflicts
+		s.stats.Learned += sub.stats.Learned
+		s.stats.Restarts += sub.stats.Restarts
+		if st == Sat {
+			s.backtrackTo(0)
+			// Copy the model so Value() observes it.
+			s.ensureVar(sub.NumVars())
+			for v := 1; v <= sub.NumVars(); v++ {
+				s.assign[v] = sub.assign[v]
+			}
+			s.modelOverride = true
+		}
+		return st
+	}
+	s.modelOverride = false
+	s.backtrackTo(0)
+	// Replay propagation over the persistent level-0 trail so clauses
+	// added since the last call are taken into account.
+	s.qhead = 0
+	// Assert unit clauses at level 0.
+	for _, c := range s.clauses {
+		if len(c.lits) == 1 {
+			if !s.enqueue(c.lits[0], nil) {
+				return Unsat
+			}
+		}
+	}
+	if s.propagate() != nil {
+		return Unsat
+	}
+	restartNum := int64(1)
+	conflictBudget := int64(100) * luby(restartNum)
+	conflictsHere := int64(0)
+	for {
+		if s.Budget > 0 && s.steps > s.Budget {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				return Unsat
+			}
+			learned, bt := s.analyze(conflict)
+			s.backtrackTo(bt)
+			c := &clause{lits: learned, learned: true}
+			s.stats.Learned++
+			if len(learned) > 1 {
+				s.attach(c)
+				s.clauses = append(s.clauses, c)
+				s.enqueue(learned[0], c)
+			} else {
+				if !s.enqueue(learned[0], nil) {
+					return Unsat
+				}
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			// Garbage-collect learned clauses when the database grows
+			// past the cap.
+			maxLearned := s.MaxLearned
+			if maxLearned <= 0 {
+				maxLearned = 8192
+			}
+			if int(s.stats.Learned) > 0 && s.learnedCount() > maxLearned {
+				s.reduceDB()
+			}
+			continue
+		}
+		// Restart?
+		if conflictsHere >= conflictBudget {
+			s.stats.Restarts++
+			restartNum++
+			conflictBudget = 100 * luby(restartNum)
+			conflictsHere = 0
+			s.backtrackTo(0)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat
+		}
+		s.stats.Decisions++
+		s.steps++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := Lit(v)
+		if s.phase[v] == lFalse {
+			l = l.Neg()
+		}
+		s.enqueue(l, nil)
+	}
+}
+
+// Value returns the assignment of variable v in the last Sat result.
+func (s *Solver) Value(v int) bool {
+	if v >= len(s.assign) {
+		return false
+	}
+	return s.assign[v] == lTrue
+}
+
+// Model returns the satisfying assignment as a map from variable to value.
+// Only meaningful after Solve returned Sat.
+func (s *Solver) Model() map[int]bool {
+	m := make(map[int]bool, len(s.assign))
+	for v := 1; v < len(s.assign); v++ {
+		m[v] = s.assign[v] == lTrue
+	}
+	return m
+}
+
+// Stats returns effort counters accumulated so far.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NumClauses returns the number of clauses currently stored (including
+// learned clauses).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// learnedCount counts currently retained learned clauses.
+func (s *Solver) learnedCount() int {
+	n := 0
+	for _, c := range s.clauses {
+		if c.learned {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,117 @@
+// Package segment implements policy segmentation and content-hash tracking:
+// policies are split into individual statements, each identified by a hash
+// of its content, enabling the diff-based incremental re-extraction the
+// paper describes ("only modified segments require re-extraction").
+package segment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+)
+
+// Segment is one policy statement.
+type Segment struct {
+	// ID is the hex SHA-256 of the normalized statement text; stable
+	// across policy versions when the statement is unchanged.
+	ID string `json:"id"`
+	// Text is the statement, whitespace-normalized.
+	Text string `json:"text"`
+	// Index is the statement's position in the policy.
+	Index int `json:"index"`
+	// Section is the most recent heading above the statement, when the
+	// policy uses markdown-style "#" headings.
+	Section string `json:"section,omitempty"`
+}
+
+// Hash returns the content hash used for segment identity.
+func Hash(text string) string {
+	norm := strings.Join(strings.Fields(text), " ")
+	sum := sha256.Sum256([]byte(norm))
+	return hex.EncodeToString(sum[:])
+}
+
+// Split segments a policy into statements. Markdown-style headings ("#",
+// "##", ...) set the section context and are not themselves segments;
+// bullet markers are stripped; blank lines separate paragraphs which are
+// then sentence-split.
+func Split(policy string) []Segment {
+	var segs []Segment
+	section := ""
+	idx := 0
+	for _, rawLine := range strings.Split(policy, "\n") {
+		line := strings.TrimSpace(rawLine)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			section = strings.TrimSpace(strings.TrimLeft(line, "# "))
+			continue
+		}
+		line = strings.TrimPrefix(line, "- ")
+		line = strings.TrimPrefix(line, "* ")
+		line = strings.TrimPrefix(line, "• ")
+		for _, sentence := range nlp.SplitSentences(line) {
+			sentence = strings.TrimSpace(sentence)
+			if sentence == "" {
+				continue
+			}
+			segs = append(segs, Segment{
+				ID:      Hash(sentence),
+				Text:    strings.Join(strings.Fields(sentence), " "),
+				Index:   idx,
+				Section: section,
+			})
+			idx++
+		}
+	}
+	return segs
+}
+
+// Diff describes the change between two policy versions at segment
+// granularity.
+type Diff struct {
+	// Added lists segments present only in the new version.
+	Added []Segment
+	// Removed lists segments present only in the old version.
+	Removed []Segment
+	// Kept lists segments present in both (by content hash).
+	Kept []Segment
+}
+
+// Compare diffs two segment lists by content hash. Reordered but unchanged
+// statements count as kept.
+func Compare(old, new []Segment) Diff {
+	oldByID := make(map[string]Segment, len(old))
+	for _, s := range old {
+		oldByID[s.ID] = s
+	}
+	newIDs := make(map[string]bool, len(new))
+	var d Diff
+	for _, s := range new {
+		newIDs[s.ID] = true
+		if _, ok := oldByID[s.ID]; ok {
+			d.Kept = append(d.Kept, s)
+		} else {
+			d.Added = append(d.Added, s)
+		}
+	}
+	for _, s := range old {
+		if !newIDs[s.ID] {
+			d.Removed = append(d.Removed, s)
+		}
+	}
+	return d
+}
+
+// ChangedFraction returns |added| / |new| — the share of the new version
+// needing re-extraction.
+func (d Diff) ChangedFraction() float64 {
+	total := len(d.Added) + len(d.Kept)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(d.Added)) / float64(total)
+}

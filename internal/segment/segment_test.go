@@ -1,0 +1,140 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePolicy = `# TikTak Privacy Policy
+
+## Information We Collect
+
+When you create an account, you may provide your email. We collect device information automatically.
+
+- We collect your IP address.
+- We collect crash logs.
+
+## How We Share Information
+
+We share data with service providers. We never sell your personal information.`
+
+func TestSplitBasic(t *testing.T) {
+	segs := Split(samplePolicy)
+	if len(segs) != 6 {
+		for _, s := range segs {
+			t.Logf("seg: %q (section %q)", s.Text, s.Section)
+		}
+		t.Fatalf("got %d segments, want 6", len(segs))
+	}
+	if segs[0].Section != "Information We Collect" {
+		t.Errorf("section = %q", segs[0].Section)
+	}
+	if segs[4].Section != "How We Share Information" {
+		t.Errorf("section = %q", segs[4].Section)
+	}
+	for i, s := range segs {
+		if s.Index != i {
+			t.Errorf("index %d = %d", i, s.Index)
+		}
+		if s.ID == "" || len(s.ID) != 64 {
+			t.Errorf("bad ID %q", s.ID)
+		}
+	}
+}
+
+func TestSplitStripsBullets(t *testing.T) {
+	segs := Split("- We collect cookies.")
+	if len(segs) != 1 || strings.HasPrefix(segs[0].Text, "-") {
+		t.Errorf("bullet not stripped: %+v", segs)
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	if segs := Split(""); len(segs) != 0 {
+		t.Errorf("empty policy: %v", segs)
+	}
+	if segs := Split("# Heading Only\n\n## Another"); len(segs) != 0 {
+		t.Errorf("headings only: %v", segs)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	a := Hash("We collect your email.")
+	b := Hash("We  collect \t your email.") // whitespace-insensitive
+	if a != b {
+		t.Error("hash sensitive to whitespace")
+	}
+	if a == Hash("We collect your phone.") {
+		t.Error("different text same hash")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	segs := Split(samplePolicy)
+	d := Compare(segs, segs)
+	if len(d.Added) != 0 || len(d.Removed) != 0 || len(d.Kept) != len(segs) {
+		t.Errorf("identical diff: +%d -%d =%d", len(d.Added), len(d.Removed), len(d.Kept))
+	}
+	if d.ChangedFraction() != 0 {
+		t.Errorf("changed fraction = %v", d.ChangedFraction())
+	}
+}
+
+func TestCompareEdit(t *testing.T) {
+	old := Split(samplePolicy)
+	edited := strings.Replace(samplePolicy, "We collect your IP address.", "We collect your IP address and MAC address.", 1)
+	new := Split(edited)
+	d := Compare(old, new)
+	if len(d.Added) != 1 || len(d.Removed) != 1 {
+		t.Fatalf("edit diff: +%d -%d", len(d.Added), len(d.Removed))
+	}
+	if !strings.Contains(d.Added[0].Text, "MAC address") {
+		t.Errorf("added = %q", d.Added[0].Text)
+	}
+	if got := d.ChangedFraction(); got <= 0 || got >= 1 {
+		t.Errorf("changed fraction = %v", got)
+	}
+}
+
+func TestCompareReorderIsKept(t *testing.T) {
+	old := Split("A is first. B is second.")
+	new := Split("B is second. A is first.")
+	d := Compare(old, new)
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Errorf("reorder should be all-kept: %+v", d)
+	}
+}
+
+func TestCompareEmptySides(t *testing.T) {
+	segs := Split("We collect cookies.")
+	d := Compare(nil, segs)
+	if len(d.Added) != 1 || len(d.Kept) != 0 {
+		t.Errorf("from-nothing diff: %+v", d)
+	}
+	d = Compare(segs, nil)
+	if len(d.Removed) != 1 {
+		t.Errorf("to-nothing diff: %+v", d)
+	}
+	if d.ChangedFraction() != 0 {
+		t.Errorf("empty new version fraction = %v", d.ChangedFraction())
+	}
+}
+
+// Property: every segment's ID matches its text hash, and Compare(a,b)
+// partitions b into Added+Kept.
+func TestSegmentProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		sa, sb := Split(a), Split(b)
+		for _, s := range sb {
+			if s.ID != Hash(s.Text) {
+				return false
+			}
+		}
+		d := Compare(sa, sb)
+		return len(d.Added)+len(d.Kept) == len(sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,516 @@
+// Package server exposes the pipeline as a JSON HTTP API: policies are
+// uploaded and analyzed, queried for extraction statistics, edges and
+// vague conditions, verified against natural-language compliance queries,
+// and updated incrementally across versions. A raw SMT-LIB solving
+// endpoint exposes the built-in solver. The server is self-contained over
+// net/http (Go 1.22 pattern routing) with request logging, body-size
+// limits and JSON error envelopes.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/query"
+	"github.com/privacy-quagmire/quagmire/internal/report"
+	"github.com/privacy-quagmire/quagmire/internal/smt"
+)
+
+// MaxBodyBytes caps request bodies (policies can be large but bounded).
+const MaxBodyBytes = 4 << 20
+
+// Server is the HTTP API server. Create with New.
+type Server struct {
+	pipeline *core.Pipeline
+	limits   smt.Limits
+	logger   *log.Logger
+
+	// sem limits in-flight requests when non-nil.
+	sem chan struct{}
+
+	mu       sync.RWMutex
+	policies map[string]*policyEntry
+	nextID   int
+}
+
+type policyEntry struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	Company  string    `json:"company"`
+	Created  time.Time `json:"created"`
+	Updated  time.Time `json:"updated"`
+	Versions int       `json:"versions"`
+
+	analysis *core.Analysis
+}
+
+// Options configures the server.
+type Options struct {
+	// Pipeline runs the analyses; required.
+	Pipeline *core.Pipeline
+	// SolverLimits bounds the /v1/solve endpoint.
+	SolverLimits smt.Limits
+	// Logger receives request logs; nil disables logging.
+	Logger *log.Logger
+	// MaxConcurrent caps in-flight requests; excess requests receive 503.
+	// 0 disables the limiter.
+	MaxConcurrent int
+}
+
+// New constructs a server.
+func New(opts Options) (*Server, error) {
+	if opts.Pipeline == nil {
+		return nil, fmt.Errorf("server: Options.Pipeline is required")
+	}
+	srv := &Server{
+		pipeline: opts.Pipeline,
+		limits:   opts.SolverLimits,
+		logger:   opts.Logger,
+		policies: map[string]*policyEntry{},
+	}
+	if opts.MaxConcurrent > 0 {
+		srv.sem = make(chan struct{}, opts.MaxConcurrent)
+	}
+	return srv, nil
+}
+
+// Handler returns the routed HTTP handler with middleware applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/policies", s.handleCreatePolicy)
+	mux.HandleFunc("GET /v1/policies", s.handleListPolicies)
+	mux.HandleFunc("GET /v1/policies/{id}", s.handleGetPolicy)
+	mux.HandleFunc("PUT /v1/policies/{id}", s.handleUpdatePolicy)
+	mux.HandleFunc("GET /v1/policies/{id}/edges", s.handleEdges)
+	mux.HandleFunc("GET /v1/policies/{id}/vague", s.handleVague)
+	mux.HandleFunc("POST /v1/policies/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/policies/{id}/explore", s.handleExplore)
+	mux.HandleFunc("GET /v1/policies/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/policies/{id}/dot", s.handleDOT)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	return s.withMiddleware(mux)
+}
+
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				writeError(w, http.StatusServiceUnavailable, "server at capacity")
+				return
+			}
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if s.logger != nil {
+			s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Millisecond))
+		}
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", MaxBodyBytes)
+			return false
+		}
+		if errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "empty request body")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.policies)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "policies": n})
+}
+
+// createPolicyRequest is the POST /v1/policies body.
+type createPolicyRequest struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// policyResponse is the common policy summary payload.
+type policyResponse struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Company   string    `json:"company"`
+	Created   time.Time `json:"created"`
+	Updated   time.Time `json:"updated"`
+	Versions  int       `json:"versions"`
+	Nodes     int       `json:"nodes"`
+	Edges     int       `json:"edges"`
+	Entities  int       `json:"entities"`
+	DataTypes int       `json:"data_types"`
+	Practices int       `json:"practices"`
+}
+
+func (s *Server) policyJSON(e *policyEntry) policyResponse {
+	st := e.analysis.Stats()
+	return policyResponse{
+		ID: e.ID, Name: e.Name, Company: e.Company,
+		Created: e.Created, Updated: e.Updated, Versions: e.Versions,
+		Nodes: st.Nodes, Edges: st.Edges, Entities: st.Entities,
+		DataTypes: st.DataTypes, Practices: len(e.analysis.Extraction.Practices),
+	}
+}
+
+func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
+	var req createPolicyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, "text is required")
+		return
+	}
+	a, err := s.pipeline.Analyze(r.Context(), req.Text)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("p%d", s.nextID)
+	name := req.Name
+	if name == "" {
+		name = a.Extraction.Company
+	}
+	now := time.Now()
+	entry := &policyEntry{
+		ID: id, Name: name, Company: a.Extraction.Company,
+		Created: now, Updated: now, Versions: 1, analysis: a,
+	}
+	s.policies[id] = entry
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.policyJSON(entry))
+}
+
+func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]policyResponse, 0, len(s.policies))
+	for _, e := range s.policies {
+		out = append(out, s.policyJSON(e))
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*policyEntry, bool) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	e, ok := s.policies[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "policy %q not found", id)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.policyJSON(e))
+}
+
+// updatePolicyRequest is the PUT /v1/policies/{id} body.
+type updatePolicyRequest struct {
+	Text string `json:"text"`
+}
+
+// updatePolicyResponse reports the incremental update.
+type updatePolicyResponse struct {
+	Policy          policyResponse `json:"policy"`
+	SegmentsKept    int            `json:"segments_kept"`
+	SegmentsAdded   int            `json:"segments_added"`
+	SegmentsRemoved int            `json:"segments_removed"`
+	EdgesAdded      int            `json:"edges_added"`
+	EdgesRemoved    int            `json:"edges_removed"`
+	NewTerms        int            `json:"new_terms"`
+}
+
+func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req updatePolicyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, "text is required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, diff, st, err := s.pipeline.Update(r.Context(), e.analysis, req.Text)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
+		return
+	}
+	e.analysis = a
+	e.Company = a.Extraction.Company
+	e.Updated = time.Now()
+	e.Versions++
+	writeJSON(w, http.StatusOK, updatePolicyResponse{
+		Policy:          s.policyJSON(e),
+		SegmentsKept:    len(diff.Kept),
+		SegmentsAdded:   len(diff.Added),
+		SegmentsRemoved: len(diff.Removed),
+		EdgesAdded:      st.EdgesAdded,
+		EdgesRemoved:    st.EdgesRemoved,
+		NewTerms:        st.NewTerms,
+	})
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", q)
+			return
+		}
+		limit = n
+	}
+	edges := e.analysis.KG.ED.Edges()
+	if limit > 0 && limit < len(edges) {
+		edges = edges[:limit]
+	}
+	type edgeJSON struct {
+		Text       string `json:"text"`
+		Condition  string `json:"condition,omitempty"`
+		Permission string `json:"permission,omitempty"`
+		Other      string `json:"other,omitempty"`
+	}
+	out := make([]edgeJSON, len(edges))
+	for i, ed := range edges {
+		out[i] = edgeJSON{Text: ed.String(), Condition: ed.Condition, Permission: ed.Permission, Other: ed.Other}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleVague(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	counts := map[string]int{}
+	for _, p := range e.analysis.Extraction.Practices {
+		for _, v := range p.VagueTerms {
+			counts[v]++
+		}
+	}
+	type vagueJSON struct {
+		Term        string `json:"term"`
+		Occurrences int    `json:"occurrences"`
+	}
+	out := make([]vagueJSON, 0, len(counts))
+	for term, n := range counts {
+		out = append(out, vagueJSON{Term: term, Occurrences: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Occurrences != out[j].Occurrences {
+			return out[i].Occurrences > out[j].Occurrences
+		}
+		return out[i].Term < out[j].Term
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryRequest is the POST /v1/policies/{id}/query body.
+type queryRequest struct {
+	Question      string `json:"question"`
+	IncludeScript bool   `json:"include_script,omitempty"`
+}
+
+// queryResponse is the verification result payload.
+type queryResponse struct {
+	Verdict       query.Verdict     `json:"verdict"`
+	ConditionalOn []string          `json:"conditional_on,omitempty"`
+	Placeholders  []string          `json:"placeholders,omitempty"`
+	Translations  map[string]string `json:"translations,omitempty"`
+	MatchedEdges  []string          `json:"matched_edges,omitempty"`
+	FormulaSize   int               `json:"formula_size"`
+	Script        string            `json:"script,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Question == "" {
+		writeError(w, http.StatusBadRequest, "question is required")
+		return
+	}
+	res, err := e.analysis.Engine.Ask(r.Context(), req.Question)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		return
+	}
+	resp := queryResponse{
+		Verdict:       res.Verdict,
+		ConditionalOn: res.ConditionalOn,
+		Placeholders:  res.Placeholders,
+		Translations:  res.Translations,
+		MatchedEdges:  res.MatchedEdges,
+		FormulaSize:   res.FormulaSize,
+	}
+	if req.IncludeScript {
+		resp.Script = res.Script
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// exploreRequest is the POST /v1/policies/{id}/explore body.
+type exploreRequest struct {
+	Question string `json:"question"`
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req exploreRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Question == "" {
+		writeError(w, http.StatusBadRequest, "question is required")
+		return
+	}
+	exp, err := e.analysis.Engine.Explore(r.Context(), req.Question)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "exploration failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, exp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	md := report.Render(e.analysis, report.Options{IncludeHierarchy: r.URL.Query().Get("hierarchy") == "1"})
+	w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+	_, _ = io.WriteString(w, md)
+}
+
+func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var out string
+	switch kind := r.URL.Query().Get("kind"); kind {
+	case "", "graph":
+		out = e.analysis.KG.ED.DOT(e.Company + " practices")
+	case "data":
+		out = e.analysis.KG.DataH.DOT(e.Company + " data hierarchy")
+	case "entity":
+		out = e.analysis.KG.EntityH.DOT(e.Company + " entity hierarchy")
+	default:
+		writeError(w, http.StatusBadRequest, "unknown kind %q (graph|data|entity)", kind)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	_, _ = io.WriteString(w, out)
+}
+
+// solveRequest is the POST /v1/solve body.
+type solveRequest struct {
+	Script string `json:"script"`
+}
+
+// solveResponse is one check-sat result.
+type solveResponse struct {
+	Status       string   `json:"status"`
+	Reason       string   `json:"reason,omitempty"`
+	Placeholders []string `json:"placeholders,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Script == "" {
+		writeError(w, http.StatusBadRequest, "script is required")
+		return
+	}
+	results, err := smt.RunScript(req.Script, s.limits)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
+		return
+	}
+	out := make([]solveResponse, len(results))
+	for i, res := range results {
+		out[i] = solveResponse{Status: res.Status.String(), Reason: res.Reason, Placeholders: res.Placeholders}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

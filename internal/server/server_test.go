@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Pipeline: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil && strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp
+}
+
+func createPolicy(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	var created map[string]any
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies",
+		map[string]string{"name": "mini", "text": corpus.Mini()}, &created)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d (%v)", resp.StatusCode, created)
+	}
+	return created
+}
+
+func TestHealth(t *testing.T) {
+	ts := newTestServer(t)
+	var out map[string]any
+	resp := doJSON(t, "GET", ts.URL+"/healthz", nil, &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("health = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestCreateAndGetPolicy(t *testing.T) {
+	ts := newTestServer(t)
+	created := createPolicy(t, ts)
+	if created["company"] != "Acme" {
+		t.Errorf("company = %v", created["company"])
+	}
+	if created["edges"].(float64) == 0 {
+		t.Error("no edges")
+	}
+	id := created["id"].(string)
+
+	var got map[string]any
+	resp := doJSON(t, "GET", ts.URL+"/v1/policies/"+id, nil, &got)
+	if resp.StatusCode != http.StatusOK || got["id"] != id {
+		t.Fatalf("get = %d %v", resp.StatusCode, got)
+	}
+
+	var list []map[string]any
+	resp = doJSON(t, "GET", ts.URL+"/v1/policies", nil, &list)
+	if resp.StatusCode != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list = %d %v", resp.StatusCode, list)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	var out map[string]any
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/query",
+		map[string]any{"question": "Does Acme share my email address with advertising partners?", "include_script": true}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d %v", resp.StatusCode, out)
+	}
+	if out["verdict"] != "VALID" {
+		t.Errorf("verdict = %v", out["verdict"])
+	}
+	if !strings.Contains(out["script"].(string), "check-sat") {
+		t.Error("script missing")
+	}
+	// Without include_script the script is omitted.
+	var out2 map[string]any
+	doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/query",
+		map[string]any{"question": "Does Acme sell my personal information?"}, &out2)
+	if _, hasScript := out2["script"]; hasScript {
+		t.Error("script should be omitted")
+	}
+	if out2["verdict"] != "INVALID" {
+		t.Errorf("verdict 2 = %v", out2["verdict"])
+	}
+}
+
+func TestEdgesAndVagueEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	var edges []map[string]any
+	resp := doJSON(t, "GET", ts.URL+"/v1/policies/"+id+"/edges?limit=3", nil, &edges)
+	if resp.StatusCode != http.StatusOK || len(edges) != 3 {
+		t.Fatalf("edges = %d, %d entries", resp.StatusCode, len(edges))
+	}
+	if !strings.Contains(edges[0]["text"].(string), "->") {
+		t.Errorf("edge text = %v", edges[0]["text"])
+	}
+
+	var vague []map[string]any
+	resp = doJSON(t, "GET", ts.URL+"/v1/policies/"+id+"/vague", nil, &vague)
+	if resp.StatusCode != http.StatusOK || len(vague) == 0 {
+		t.Fatalf("vague = %d, %d entries", resp.StatusCode, len(vague))
+	}
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	edited := strings.Replace(corpus.Mini(),
+		"We collect device identifiers automatically.",
+		"We collect device identifiers and sleep patterns automatically.", 1)
+	var out map[string]any
+	resp := doJSON(t, "PUT", ts.URL+"/v1/policies/"+id,
+		map[string]string{"text": edited}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update = %d %v", resp.StatusCode, out)
+	}
+	if out["segments_added"].(float64) != 1 || out["edges_added"].(float64) == 0 {
+		t.Errorf("update accounting: %v", out)
+	}
+	policy := out["policy"].(map[string]any)
+	if policy["versions"].(float64) != 2 {
+		t.Errorf("versions = %v", policy["versions"])
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	script := `
+(declare-fun p () Bool)
+(assert p)
+(assert (not p))
+(check-sat)`
+	var out []map[string]any
+	resp := doJSON(t, "POST", ts.URL+"/v1/solve", map[string]string{"script": script}, &out)
+	if resp.StatusCode != http.StatusOK || len(out) != 1 {
+		t.Fatalf("solve = %d %v", resp.StatusCode, out)
+	}
+	if out[0]["status"] != "unsat" {
+		t.Errorf("status = %v", out[0]["status"])
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		method, path string
+		body         any
+		wantStatus   int
+	}{
+		{"GET", "/v1/policies/nope", nil, http.StatusNotFound},
+		{"POST", "/v1/policies", map[string]string{}, http.StatusBadRequest},                          // missing text
+		{"POST", "/v1/policies", nil, http.StatusBadRequest},                                          // empty body
+		{"POST", "/v1/solve", map[string]string{"script": "(assert"}, http.StatusUnprocessableEntity}, // malformed SMT-LIB
+		{"POST", "/v1/solve", map[string]string{}, http.StatusBadRequest},
+		{"GET", "/v1/policies/nope/edges", nil, http.StatusNotFound},
+		{"POST", "/v1/policies/nope/query", map[string]string{"question": "x"}, http.StatusNotFound},
+		{"DELETE", "/v1/policies", nil, http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		var out any
+		resp := doJSON(t, c.method, ts.URL+c.path, c.body, &out)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s = %d, want %d (%v)", c.method, c.path, resp.StatusCode, c.wantStatus, out)
+		}
+	}
+}
+
+func TestUnknownJSONFieldRejected(t *testing.T) {
+	ts := newTestServer(t)
+	var out map[string]any
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies",
+		map[string]string{"text": corpus.Mini(), "surprise": "1"}, &out)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestInvalidLimitParam(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+	var out map[string]any
+	resp := doJSON(t, "GET", ts.URL+"/v1/policies/"+id+"/edges?limit=-1", nil, &out)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative limit accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	ts := newTestServer(t)
+	huge := strings.Repeat("x", MaxBodyBytes+1)
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/policies", strings.NewReader(`{"text":"`+huge+`"}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := fmt.Sprintf(`{"question":"Does Acme collect my device identifiers?%s"}`, strings.Repeat(" ", i%3))
+			resp, err := http.Post(ts.URL+"/v1/policies/"+id+"/query", "application/json", strings.NewReader(q))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestNewRequiresPipeline(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("nil pipeline accepted")
+	}
+}
+
+func TestExploreEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+	var out map[string]any
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/explore",
+		map[string]string{"question": "Does Acme share my usage data with service providers?"}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore = %d %v", resp.StatusCode, out)
+	}
+	scenarios := out["scenarios"].([]any)
+	if len(scenarios) < 2 {
+		t.Fatalf("scenarios = %v", out)
+	}
+	if out["always_valid"] == true {
+		t.Error("conditional query cannot be always-valid")
+	}
+	// Missing question.
+	resp = doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/explore", map[string]string{}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing question = %d", resp.StatusCode)
+	}
+}
+
+func TestReportAndDotEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/policies/" + id + "/report?hierarchy=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "# Privacy Policy Audit") {
+		t.Fatalf("report = %d\n%s", resp.StatusCode, body[:min(120, len(body))])
+	}
+	if !strings.Contains(string(body), "Data type hierarchy") {
+		t.Error("hierarchy section missing with hierarchy=1")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/policies/" + id + "/dot?kind=data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "digraph") {
+		t.Fatalf("dot = %d\n%s", resp.StatusCode, body[:min(120, len(body))])
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/policies/" + id + "/dot?kind=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus dot kind = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrencyLimiter(t *testing.T) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Pipeline: p, MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single slot.
+	s.sem <- struct{}{}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server = %d, want 503", resp.StatusCode)
+	}
+	// Release and retry.
+	<-s.sem
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("freed server = %d", resp.StatusCode)
+	}
+}

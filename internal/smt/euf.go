@@ -1,0 +1,156 @@
+// Package smt implements a from-scratch SMT solver for quantified formulas
+// over uninterpreted functions (UF): a DPLL(T) loop combining the CDCL SAT
+// core from internal/sat with a congruence-closure theory solver, plus
+// budgeted ground quantifier instantiation, push/pop incremental scopes and
+// check-sat-assuming — the feature set of CVC5 that the paper's pipeline
+// relies on, with deterministic resource limits so the paper's timeout
+// behaviour is reproducible.
+package smt
+
+import (
+	"fmt"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+)
+
+// node is an interned ground term in the congruence closure structure.
+type node struct {
+	sym  string
+	args []int // ids of argument nodes
+}
+
+// CC is a congruence closure engine over ground terms. Terms are interned
+// to dense ids; Merge unions equivalence classes and propagates congruence
+// (f(a)=f(b) when a=b).
+type CC struct {
+	nodes  []node
+	intern map[string]int
+	parent []int
+	rank   []int
+	// uses maps a class representative to the ids of application nodes
+	// that have a member of the class as an argument.
+	uses map[int][]int
+}
+
+// NewCC returns an empty congruence closure engine.
+func NewCC() *CC {
+	return &CC{intern: map[string]int{}, uses: map[int][]int{}}
+}
+
+// termKey builds the interning key of a (symbol, arg-class...) signature.
+func termKey(sym string, args []int) string {
+	k := sym
+	for _, a := range args {
+		k += fmt.Sprintf("#%d", a)
+	}
+	return k
+}
+
+// AddTerm interns the ground term t and returns its node id.
+// Variables are rejected.
+func (c *CC) AddTerm(t fol.Term) (int, error) {
+	switch t.Kind {
+	case fol.TermVar:
+		return 0, fmt.Errorf("smt: variable %q in ground congruence closure", t.Name)
+	case fol.TermConst:
+		return c.addNode("c:"+t.Name, nil), nil
+	case fol.TermApp:
+		args := make([]int, len(t.Args))
+		for i, a := range t.Args {
+			id, err := c.AddTerm(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = id
+		}
+		return c.AddApp("f:"+t.Name, args), nil
+	default:
+		return 0, fmt.Errorf("smt: bad term kind %d", t.Kind)
+	}
+}
+
+// AddConst interns a constant symbol and returns its node id.
+func (c *CC) AddConst(name string) int { return c.addNode("c:"+name, nil) }
+
+// AddApp interns an application of sym to the given argument nodes and
+// returns its id, merging with any congruent existing node.
+func (c *CC) AddApp(sym string, args []int) int {
+	reps := make([]int, len(args))
+	for i, a := range args {
+		reps[i] = c.find(a)
+	}
+	key := termKey(sym, reps)
+	if id, ok := c.intern[key]; ok {
+		return c.find(id)
+	}
+	id := c.addNode(key, args)
+	c.nodes[id].sym = sym
+	for _, r := range reps {
+		c.uses[r] = append(c.uses[r], id)
+	}
+	return id
+}
+
+func (c *CC) addNode(key string, args []int) int {
+	if id, ok := c.intern[key]; ok {
+		return id
+	}
+	id := len(c.nodes)
+	c.nodes = append(c.nodes, node{sym: key, args: args})
+	c.parent = append(c.parent, id)
+	c.rank = append(c.rank, 0)
+	c.intern[key] = id
+	return id
+}
+
+func (c *CC) find(x int) int {
+	for c.parent[x] != x {
+		c.parent[x] = c.parent[c.parent[x]]
+		x = c.parent[x]
+	}
+	return x
+}
+
+// Merge asserts that the classes of a and b are equal and propagates
+// congruences.
+func (c *CC) Merge(a, b int) {
+	var pending [][2]int
+	pending = append(pending, [2]int{a, b})
+	for len(pending) > 0 {
+		x, y := pending[0][0], pending[0][1]
+		pending = pending[1:]
+		rx, ry := c.find(x), c.find(y)
+		if rx == ry {
+			continue
+		}
+		if c.rank[rx] < c.rank[ry] {
+			rx, ry = ry, rx
+		}
+		// ry is absorbed into rx.
+		c.parent[ry] = rx
+		if c.rank[rx] == c.rank[ry] {
+			c.rank[rx]++
+		}
+		// Congruence: every application using ry may now be congruent to
+		// an application using rx.
+		moved := c.uses[ry]
+		delete(c.uses, ry)
+		for _, app := range moved {
+			n := c.nodes[app]
+			reps := make([]int, len(n.args))
+			for i, arg := range n.args {
+				reps[i] = c.find(arg)
+			}
+			key := termKey(n.sym, reps)
+			if other, ok := c.intern[key]; ok && c.find(other) != c.find(app) {
+				pending = append(pending, [2]int{other, app})
+			} else {
+				c.intern[key] = app
+			}
+			c.uses[c.find(app)] = append(c.uses[c.find(app)], app)
+		}
+	}
+}
+
+// Equal reports whether nodes a and b are in the same class.
+func (c *CC) Equal(a, b int) bool { return c.find(a) == c.find(b) }

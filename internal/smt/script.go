@@ -1,0 +1,86 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/smtlib"
+)
+
+// RunScript executes an SMT-LIB v2 script against a fresh solver and
+// returns one Result per check-sat / check-sat-assuming command, in order.
+// push/pop commands manage assertion scopes exactly as in the standard.
+func RunScript(src string, limits Limits) ([]Result, error) {
+	cmds, err := smtlib.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// DecodeScript gives us symbol tables for term/formula reconstruction;
+	// we re-walk the commands here to honor push/pop ordering.
+	prob, err := smtlib.DecodeScript(src)
+	if err != nil {
+		return nil, err
+	}
+	solver := NewSolver()
+	solver.Limits = limits
+	var results []Result
+	assertIdx := 0
+	for _, cmd := range cmds {
+		switch cmd.Head() {
+		case "push":
+			solver.Push()
+		case "pop":
+			solver.Pop()
+		case "assert":
+			if assertIdx >= len(prob.Asserts) {
+				return nil, fmt.Errorf("smt: assert/decode mismatch")
+			}
+			solver.Assert(prob.Asserts[assertIdx])
+			assertIdx++
+		case "check-sat", "check-sat-assuming":
+			results = append(results, solver.CheckSat())
+		}
+	}
+	return results, nil
+}
+
+// SolveScript runs the script and returns the final check-sat result; it is
+// the one-shot entry point used by the pipeline ("the final FOL formula is
+// checked by an SMT solver").
+func SolveScript(src string, limits Limits) (Result, error) {
+	results, err := RunScript(src, limits)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("smt: script contains no check-sat command")
+	}
+	return results[len(results)-1], nil
+}
+
+// FormatResult renders a result in solver-output style: the status line
+// followed by ;; comment lines for reason and placeholders, mirroring what
+// the paper's tooling logs for each query.
+func FormatResult(r Result) string {
+	var b strings.Builder
+	b.WriteString(r.Status.String())
+	b.WriteByte('\n')
+	if r.Reason != "" {
+		fmt.Fprintf(&b, ";; reason: %s\n", r.Reason)
+	}
+	for _, p := range r.Placeholders {
+		fmt.Fprintf(&b, ";; uninterpreted placeholder: %s\n", p)
+	}
+	if r.Model != nil {
+		names := make([]string, 0, len(r.Model))
+		for n := range r.Model {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, ";; model: %s = %v\n", n, r.Model[n])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,606 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+	"github.com/privacy-quagmire/quagmire/internal/sat"
+)
+
+// Status is the three-valued outcome of an SMT check.
+type Status int
+
+// Check outcomes.
+const (
+	// Unknown means the solver exhausted a resource limit or the problem
+	// lies outside its complete fragment.
+	Unknown Status = iota
+	// Sat means a model exists.
+	Sat
+	// Unsat means no model exists.
+	Unsat
+)
+
+// String returns "sat", "unsat" or "unknown".
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Limits bounds solver effort. Zero values select defaults; the limits are
+// deterministic (step-counted) so experiment results are reproducible.
+type Limits struct {
+	// MaxSatSteps caps SAT decisions+propagations per CheckSat.
+	MaxSatSteps int64
+	// MaxInstantiations caps total quantifier instantiations per CheckSat.
+	MaxInstantiations int
+	// MaxRounds caps instantiation rounds per CheckSat.
+	MaxRounds int
+	// MaxTheoryLemmas caps DPLL(T) refinement iterations per CheckSat.
+	MaxTheoryLemmas int
+	// Timeout, when positive, aborts the check after the wall-clock
+	// duration. Step limits are preferred for reproducibility.
+	Timeout time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxSatSteps == 0 {
+		l.MaxSatSteps = 5_000_000
+	}
+	if l.MaxInstantiations == 0 {
+		l.MaxInstantiations = 50_000
+	}
+	if l.MaxRounds == 0 {
+		l.MaxRounds = 3
+	}
+	if l.MaxTheoryLemmas == 0 {
+		l.MaxTheoryLemmas = 2_000
+	}
+	return l
+}
+
+// Stats reports effort spent by the last CheckSat.
+type Stats struct {
+	// Instantiations counts ground instances generated.
+	Instantiations int
+	// GroundClauses counts clauses handed to the SAT core.
+	GroundClauses int
+	// TheoryLemmas counts blocking clauses added by theory refutation.
+	TheoryLemmas int
+	// Rounds counts instantiation rounds.
+	Rounds int
+	// Atoms counts distinct ground atoms.
+	Atoms int
+	// SAT holds the boolean core's counters.
+	SAT sat.Stats
+	// Elapsed is the wall-clock duration of the check.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of a CheckSat.
+type Result struct {
+	// Status is sat/unsat/unknown.
+	Status Status
+	// Reason explains Unknown results (budget kind) and is empty
+	// otherwise.
+	Reason string
+	// Placeholders lists uninterpreted ambiguity predicates that occurred
+	// in the problem; per the paper these mark where human judgment is
+	// required regardless of the verdict.
+	Placeholders []string
+	// Model holds the truth values of nullary predicates in the found
+	// model when Status == Sat (nil otherwise). For the pipeline these
+	// are the vague-condition placeholders of the countermodel — showing
+	// exactly which interpretations of the ambiguous terms defeat the
+	// query.
+	Model map[string]bool
+	// Stats reports effort.
+	Stats Stats
+}
+
+// Solver is an incremental SMT solver for quantified UF formulas.
+// Assertions are grouped into scopes managed by Push/Pop.
+type Solver struct {
+	// Limits bounds effort; the zero value uses defaults.
+	Limits Limits
+	// Strategy selects the quantifier-instantiation scheme; the zero
+	// value is FullGrounding.
+	Strategy InstStrategy
+	scopes   [][]*fol.Formula
+}
+
+// NewSolver returns a solver with one open scope.
+func NewSolver() *Solver {
+	return &Solver{scopes: [][]*fol.Formula{{}}}
+}
+
+// Assert adds a sentence to the current scope. Free variables are
+// implicitly universally quantified, following SMT-LIB convention for
+// top-level clauses produced from prenex formulas.
+func (s *Solver) Assert(f *fol.Formula) {
+	top := len(s.scopes) - 1
+	s.scopes[top] = append(s.scopes[top], f)
+}
+
+// Push opens a new assertion scope.
+func (s *Solver) Push() { s.scopes = append(s.scopes, nil) }
+
+// Pop discards the most recent scope. Popping the base scope is a no-op.
+func (s *Solver) Pop() {
+	if len(s.scopes) > 1 {
+		s.scopes = s.scopes[:len(s.scopes)-1]
+	}
+}
+
+// Assertions returns all formulas currently asserted, in order.
+func (s *Solver) Assertions() []*fol.Formula {
+	var out []*fol.Formula
+	for _, sc := range s.scopes {
+		out = append(out, sc...)
+	}
+	return out
+}
+
+// CheckSat decides satisfiability of the conjunction of all assertions.
+func (s *Solver) CheckSat() Result {
+	return s.check(nil)
+}
+
+// CheckSatAssuming decides satisfiability with the extra formulas assumed
+// for this call only, mirroring SMT-LIB's check-sat-assuming.
+func (s *Solver) CheckSatAssuming(assumptions ...*fol.Formula) Result {
+	return s.check(assumptions)
+}
+
+// atomInfo records a ground atom and its SAT variable.
+type atomInfo struct {
+	atom *fol.Formula
+	v    int
+}
+
+func (s *Solver) check(assumptions []*fol.Formula) Result {
+	start := time.Now()
+	lim := s.Limits.withDefaults()
+	deadline := time.Time{}
+	if lim.Timeout > 0 {
+		deadline = start.Add(lim.Timeout)
+	}
+	res := Result{}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	all := append(s.Assertions(), assumptions...)
+	if len(all) == 0 {
+		res.Status = Sat
+		return res
+	}
+	placeholders := map[string]bool{}
+	conj := make([]*fol.Formula, len(all))
+	for i, f := range all {
+		for _, u := range f.UninterpretedAtoms() {
+			placeholders[u] = true
+		}
+		conj[i] = f
+	}
+	for p := range placeholders {
+		res.Placeholders = append(res.Placeholders, p)
+	}
+	sort.Strings(res.Placeholders)
+
+	// Normalize: NNF -> prenex -> Skolemize -> clauses with implicitly
+	// universally quantified variables.
+	var clauses []fol.Clause
+	hasQuant := false
+	hasFuncs := false
+	for _, f := range conj {
+		cs, err := fol.ClausesOf(fol.Simplify(f))
+		if err != nil {
+			res.Status = Unknown
+			res.Reason = "clausification failed: " + err.Error()
+			return res
+		}
+		clauses = append(clauses, cs...)
+	}
+	for _, c := range clauses {
+		for _, lit := range c {
+			if len(litFreeVars(lit)) > 0 {
+				hasQuant = true
+			}
+			for _, t := range lit.Atom.Terms {
+				if termHasApp(t) {
+					hasFuncs = true
+				}
+			}
+		}
+	}
+
+	// Ground term universe: constants from the clauses plus a default
+	// element (the domain is nonempty).
+	universe := collectConstants(clauses)
+	if len(universe) == 0 {
+		universe = []fol.Term{fol.Const("$elem")}
+	}
+
+	// Instantiation: ground the non-ground clauses under the selected
+	// strategy.
+	var ground []fol.Clause
+	var inst instStats
+	var complete bool
+	if s.Strategy == TriggerBased {
+		ground, inst, complete = triggerInstantiate(clauses, lim)
+	} else {
+		ground, inst, complete = s.instantiate(clauses, universe, lim, deadline)
+	}
+	res.Stats.Instantiations = inst.count
+	res.Stats.Rounds = inst.rounds
+	res.Stats.GroundClauses = len(ground)
+
+	// Boolean abstraction.
+	atoms := map[string]*atomInfo{}
+	nextVar := 0
+	core := sat.New()
+	core.Budget = lim.MaxSatSteps
+	varOf := func(a *fol.Formula) int {
+		key := a.String()
+		if info, ok := atoms[key]; ok {
+			return info.v
+		}
+		nextVar++
+		atoms[key] = &atomInfo{atom: a, v: nextVar}
+		return nextVar
+	}
+	for _, c := range ground {
+		lits := make([]sat.Lit, 0, len(c))
+		for _, lit := range c {
+			v := sat.Lit(varOf(lit.Atom))
+			if lit.Neg {
+				v = v.Neg()
+			}
+			lits = append(lits, v)
+		}
+		core.AddClause(lits...)
+	}
+	res.Stats.Atoms = len(atoms)
+
+	// DPLL(T) refinement loop.
+	for lemmas := 0; ; lemmas++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Status = Unknown
+			res.Reason = "timeout"
+			res.Stats.SAT = core.Stats()
+			return res
+		}
+		if lemmas > lim.MaxTheoryLemmas {
+			res.Status = Unknown
+			res.Reason = "theory lemma budget exhausted"
+			res.Stats.SAT = core.Stats()
+			return res
+		}
+		switch core.Solve() {
+		case sat.Unsat:
+			res.Status = Unsat
+			res.Stats.SAT = core.Stats()
+			res.Stats.TheoryLemmas = lemmas
+			return res
+		case sat.Unknown:
+			res.Status = Unknown
+			res.Reason = "SAT step budget exhausted"
+			res.Stats.SAT = core.Stats()
+			res.Stats.TheoryLemmas = lemmas
+			return res
+		}
+		conflict, err := theoryConflict(atoms, core)
+		if err != nil {
+			res.Status = Unknown
+			res.Reason = err.Error()
+			res.Stats.SAT = core.Stats()
+			return res
+		}
+		if conflict == nil {
+			res.Stats.SAT = core.Stats()
+			res.Stats.TheoryLemmas = lemmas
+			// A model was found. It is definitive only when instantiation
+			// was complete for a fragment where grounding is exhaustive.
+			if hasQuant && (!complete || hasFuncs) {
+				res.Status = Unknown
+				res.Reason = "model found but quantifier instantiation incomplete"
+				return res
+			}
+			res.Status = Sat
+			res.Model = map[string]bool{}
+			for _, info := range atoms {
+				if info.atom.Op == fol.OpPred && len(info.atom.Terms) == 0 {
+					res.Model[info.atom.Pred] = core.Value(info.v)
+				}
+			}
+			return res
+		}
+		core.AddClause(conflict...)
+	}
+}
+
+// litFreeVars returns free variables of a literal's atom.
+func litFreeVars(l fol.Literal) []string { return fol.FreeVars(l.Atom) }
+
+func termHasApp(t fol.Term) bool {
+	if t.Kind == fol.TermApp {
+		return true
+	}
+	for _, a := range t.Args {
+		if termHasApp(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func collectConstants(clauses []fol.Clause) []fol.Term {
+	seen := map[string]bool{}
+	var out []fol.Term
+	var walk func(t fol.Term)
+	walk = func(t fol.Term) {
+		switch t.Kind {
+		case fol.TermConst:
+			if !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t)
+			}
+		case fol.TermApp:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, c := range clauses {
+		for _, lit := range c {
+			for _, t := range lit.Atom.Terms {
+				walk(t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+type instStats struct {
+	count  int
+	rounds int
+}
+
+// instantiate grounds non-ground clauses over the term universe. Skolem
+// functions applied to universe elements extend the universe for the next
+// round, up to the round budget. It reports whether instantiation reached a
+// fixpoint (complete grounding).
+func (s *Solver) instantiate(clauses []fol.Clause, universe []fol.Term, lim Limits, deadline time.Time) ([]fol.Clause, instStats, bool) {
+	var ground []fol.Clause
+	var nonGround []fol.Clause
+	for _, c := range clauses {
+		if clauseVars(c) == nil {
+			ground = append(ground, c)
+		} else {
+			nonGround = append(nonGround, c)
+		}
+	}
+	st := instStats{}
+	if len(nonGround) == 0 {
+		return ground, st, true
+	}
+	complete := true
+	seenClause := map[string]bool{}
+	termSeen := map[string]bool{}
+	for _, t := range universe {
+		termSeen[t.String()] = true
+	}
+	for round := 0; round < lim.MaxRounds; round++ {
+		st.rounds = round + 1
+		var newTerms []fol.Term
+		grew := false
+		for _, c := range nonGround {
+			vars := clauseVars(c)
+			// Odometer enumeration of index tuples: lazy, so huge tuple
+			// spaces cost nothing beyond the instantiation budget.
+			idxs := make([]int, len(vars))
+			for done := false; !done; done = advance(idxs, len(universe)) {
+				if st.count >= lim.MaxInstantiations {
+					complete = false
+					return ground, st, complete
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					complete = false
+					return ground, st, complete
+				}
+				gc := make(fol.Clause, len(c))
+				for i, lit := range c {
+					atom := lit.Atom
+					for vi, v := range vars {
+						atom = fol.Subst(atom, v, universe[idxs[vi]])
+					}
+					gc[i] = fol.Literal{Neg: lit.Neg, Atom: atom}
+				}
+				key := clauseKey(gc)
+				if seenClause[key] {
+					continue
+				}
+				seenClause[key] = true
+				st.count++
+				ground = append(ground, gc)
+				// Harvest new ground terms (skolem applications).
+				for _, lit := range gc {
+					for _, t := range lit.Atom.Terms {
+						for _, sub := range groundSubterms(t) {
+							k := sub.String()
+							if !termSeen[k] {
+								termSeen[k] = true
+								newTerms = append(newTerms, sub)
+								grew = true
+							}
+						}
+					}
+				}
+			}
+		}
+		if !grew {
+			return ground, st, complete
+		}
+		universe = append(universe, newTerms...)
+		if round == lim.MaxRounds-1 {
+			complete = false
+		}
+	}
+	return ground, st, complete
+}
+
+func clauseVars(c fol.Clause) []string {
+	set := map[string]bool{}
+	for _, lit := range c {
+		for _, v := range fol.FreeVars(lit.Atom) {
+			set[v] = true
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clauseKey(c fol.Clause) string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// advance increments an odometer of k digits in base n; it reports true
+// when the odometer wraps (enumeration complete). A zero-length odometer
+// wraps immediately after its single (empty) tuple.
+func advance(idxs []int, n int) bool {
+	if len(idxs) == 0 || n == 0 {
+		return true
+	}
+	for i := len(idxs) - 1; i >= 0; i-- {
+		idxs[i]++
+		if idxs[i] < n {
+			return false
+		}
+		idxs[i] = 0
+	}
+	return true
+}
+
+// groundSubterms returns all ground subterms of t including t itself.
+func groundSubterms(t fol.Term) []fol.Term {
+	if len(fol.FreeVars(fol.Pred("$tmp", t))) > 0 {
+		// Contains a variable somewhere; recurse to find ground pieces.
+		var out []fol.Term
+		for _, a := range t.Args {
+			out = append(out, groundSubterms(a)...)
+		}
+		return out
+	}
+	out := []fol.Term{t}
+	for _, a := range t.Args {
+		out = append(out, groundSubterms(a)...)
+	}
+	return out
+}
+
+// theoryConflict checks the SAT model for EUF consistency. It returns a
+// blocking clause on conflict, nil when consistent.
+func theoryConflict(atoms map[string]*atomInfo, core *sat.Solver) ([]sat.Lit, error) {
+	cc := NewCC()
+	trueID := cc.AddConst("$T")
+	falseID := cc.AddConst("$F")
+	type diseq struct {
+		a, b int
+		lit  sat.Lit
+	}
+	var diseqs []diseq
+	var involved []sat.Lit
+
+	// Sort atoms for determinism.
+	keys := make([]string, 0, len(atoms))
+	for k := range atoms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		info := atoms[k]
+		a := info.atom
+		val := core.Value(info.v)
+		lit := sat.Lit(info.v)
+		if !val {
+			lit = lit.Neg()
+		}
+		switch a.Op {
+		case fol.OpEq:
+			x, err := cc.AddTerm(a.Terms[0])
+			if err != nil {
+				return nil, err
+			}
+			y, err := cc.AddTerm(a.Terms[1])
+			if err != nil {
+				return nil, err
+			}
+			if val {
+				cc.Merge(x, y)
+			} else {
+				diseqs = append(diseqs, diseq{x, y, lit})
+			}
+			involved = append(involved, lit)
+		case fol.OpPred:
+			if len(a.Terms) == 0 {
+				continue // purely propositional
+			}
+			args := make([]int, len(a.Terms))
+			for i, t := range a.Terms {
+				id, err := cc.AddTerm(t)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = id
+			}
+			app := cc.AddApp("p:"+a.Pred, args)
+			if val {
+				cc.Merge(app, trueID)
+			} else {
+				cc.Merge(app, falseID)
+			}
+			involved = append(involved, lit)
+		default:
+			return nil, fmt.Errorf("smt: non-atomic abstraction %s", a)
+		}
+	}
+	conflictFound := cc.Equal(trueID, falseID)
+	if !conflictFound {
+		for _, d := range diseqs {
+			if cc.Equal(d.a, d.b) {
+				conflictFound = true
+				break
+			}
+		}
+	}
+	if !conflictFound {
+		return nil, nil
+	}
+	// Naive explanation: block the entire theory-relevant assignment.
+	block := make([]sat.Lit, len(involved))
+	for i, l := range involved {
+		block[i] = l.Neg()
+	}
+	return block, nil
+}

@@ -1,0 +1,290 @@
+package smtlib
+
+import (
+	"fmt"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+)
+
+// Problem is the logical content decoded from an SMT-LIB script: the symbol
+// declarations and the asserted formulas, ready to hand to a solver.
+type Problem struct {
+	// Logic is the declared logic, if any.
+	Logic string
+	// Sorts lists declared sort names.
+	Sorts []string
+	// Consts lists declared constants (arity-0 U-valued functions).
+	Consts []string
+	// Funcs maps declared U-valued function symbols to arity.
+	Funcs map[string]int
+	// Preds maps declared Bool-valued function symbols to arity.
+	Preds map[string]int
+	// Asserts holds the asserted formulas in script order.
+	Asserts []*fol.Formula
+	// CheckSats counts (check-sat) commands encountered.
+	CheckSats int
+	// Placeholders lists predicate symbols flagged by the compiler as
+	// uninterpreted ambiguity placeholders via set-info.
+	Placeholders []string
+}
+
+// DecodeScript parses an SMT-LIB script and reconstructs the corresponding
+// Problem. Only the command subset emitted by Compile plus push/pop and
+// check-sat-assuming is understood; other commands are ignored.
+func DecodeScript(src string) (*Problem, error) {
+	cmds, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{Funcs: map[string]int{}, Preds: map[string]int{}}
+	for _, cmd := range cmds {
+		if cmd.IsAtom() || len(cmd.List) == 0 {
+			return nil, fmt.Errorf("smtlib: top-level atom %q", cmd.Atom)
+		}
+		switch cmd.Head() {
+		case "set-logic":
+			if len(cmd.List) > 1 {
+				p.Logic = cmd.List[1].Atom
+			}
+		case "set-info":
+			if len(cmd.List) == 3 && cmd.List[1].Atom == ":uninterpreted-placeholder" {
+				p.Placeholders = append(p.Placeholders, cmd.List[2].Atom)
+			}
+		case "set-option", "exit", "get-model", "get-unsat-core", "push", "pop":
+			// No logical content for decoding purposes.
+		case "declare-sort":
+			if len(cmd.List) < 2 {
+				return nil, fmt.Errorf("smtlib: malformed declare-sort")
+			}
+			p.Sorts = append(p.Sorts, cmd.List[1].Atom)
+		case "declare-const":
+			if len(cmd.List) != 3 {
+				return nil, fmt.Errorf("smtlib: malformed declare-const")
+			}
+			p.Consts = append(p.Consts, cmd.List[1].Atom)
+		case "declare-fun":
+			if len(cmd.List) != 4 || cmd.List[2].IsAtom() {
+				return nil, fmt.Errorf("smtlib: malformed declare-fun")
+			}
+			name := cmd.List[1].Atom
+			arity := len(cmd.List[2].List)
+			if cmd.List[3].Atom == "Bool" {
+				p.Preds[name] = arity
+			} else if arity == 0 {
+				p.Consts = append(p.Consts, name)
+			} else {
+				p.Funcs[name] = arity
+			}
+		case "assert":
+			if len(cmd.List) != 2 {
+				return nil, fmt.Errorf("smtlib: malformed assert")
+			}
+			f, err := p.toFormula(cmd.List[1], map[string]bool{})
+			if err != nil {
+				return nil, err
+			}
+			p.Asserts = append(p.Asserts, f)
+		case "check-sat", "check-sat-assuming":
+			p.CheckSats++
+		default:
+			// Unknown commands are skipped to stay permissive with
+			// solver-specific extensions.
+		}
+	}
+	return p, nil
+}
+
+// toFormula converts an asserted s-expression to FOL. vars tracks bound
+// variable names in scope.
+func (p *Problem) toFormula(e *SExpr, vars map[string]bool) (*fol.Formula, error) {
+	if e.IsAtom() {
+		switch e.Atom {
+		case "true":
+			return fol.True(), nil
+		case "false":
+			return fol.False(), nil
+		}
+		if _, ok := p.Preds[e.Atom]; ok {
+			return p.pred(e.Atom), nil
+		}
+		return nil, fmt.Errorf("smtlib: undeclared boolean atom %q", e.Atom)
+	}
+	if len(e.List) == 0 {
+		return nil, fmt.Errorf("smtlib: empty application")
+	}
+	head := e.Head()
+	args := e.List[1:]
+	switch head {
+	case "not":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("smtlib: not takes one argument")
+		}
+		f, err := p.toFormula(args[0], vars)
+		if err != nil {
+			return nil, err
+		}
+		return fol.Not(f), nil
+	case "and", "or":
+		subs := make([]*fol.Formula, len(args))
+		for i, a := range args {
+			f, err := p.toFormula(a, vars)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = f
+		}
+		if head == "and" {
+			return fol.And(subs...), nil
+		}
+		return fol.Or(subs...), nil
+	case "=>":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: => takes two arguments")
+		}
+		a, err := p.toFormula(args[0], vars)
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.toFormula(args[1], vars)
+		if err != nil {
+			return nil, err
+		}
+		return fol.Implies(a, b), nil
+	case "=":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smtlib: = takes two arguments")
+		}
+		// Boolean equality is iff; term equality is Eq. Decide by trying
+		// terms first.
+		ta, errA := p.toTerm(args[0], vars)
+		tb, errB := p.toTerm(args[1], vars)
+		if errA == nil && errB == nil {
+			return fol.Eq(ta, tb), nil
+		}
+		fa, err := p.toFormula(args[0], vars)
+		if err != nil {
+			return nil, err
+		}
+		fb, err := p.toFormula(args[1], vars)
+		if err != nil {
+			return nil, err
+		}
+		return fol.Iff(fa, fb), nil
+	case "distinct":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("smtlib: distinct needs at least two arguments")
+		}
+		terms := make([]fol.Term, len(args))
+		for i, a := range args {
+			t, err := p.toTerm(a, vars)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = t
+		}
+		// Pairwise disequalities.
+		var conj []*fol.Formula
+		for i := 0; i < len(terms); i++ {
+			for j := i + 1; j < len(terms); j++ {
+				conj = append(conj, fol.Not(fol.Eq(terms[i], terms[j])))
+			}
+		}
+		return fol.And(conj...), nil
+	case "forall", "exists":
+		if len(args) != 2 || args[0].IsAtom() {
+			return nil, fmt.Errorf("smtlib: malformed quantifier")
+		}
+		// Multiple binders become nested quantifiers.
+		binders := args[0].List
+		names := make([]string, len(binders))
+		for i, b := range binders {
+			if b.IsAtom() || len(b.List) != 2 {
+				return nil, fmt.Errorf("smtlib: malformed binder")
+			}
+			names[i] = b.List[0].Atom
+			vars[names[i]] = true
+		}
+		body, err := p.toFormula(args[1], vars)
+		for _, n := range names {
+			delete(vars, n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := len(names) - 1; i >= 0; i-- {
+			if head == "forall" {
+				body = fol.Forall(names[i], body)
+			} else {
+				body = fol.Exists(names[i], body)
+			}
+		}
+		return body, nil
+	default:
+		if arity, ok := p.Preds[head]; ok {
+			if len(args) != arity {
+				return nil, fmt.Errorf("smtlib: predicate %q expects %d args, got %d", head, arity, len(args))
+			}
+			terms := make([]fol.Term, len(args))
+			for i, a := range args {
+				t, err := p.toTerm(a, vars)
+				if err != nil {
+					return nil, err
+				}
+				terms[i] = t
+			}
+			f := fol.Pred(head, terms...)
+			f.Uninterpreted = p.isPlaceholder(head)
+			return f, nil
+		}
+		return nil, fmt.Errorf("smtlib: unknown formula head %q", head)
+	}
+}
+
+func (p *Problem) pred(name string) *fol.Formula {
+	f := fol.Pred(name)
+	f.Uninterpreted = p.isPlaceholder(name)
+	return f
+}
+
+func (p *Problem) isPlaceholder(name string) bool {
+	for _, ph := range p.Placeholders {
+		if ph == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Problem) toTerm(e *SExpr, vars map[string]bool) (fol.Term, error) {
+	if e.IsAtom() {
+		if vars[e.Atom] {
+			return fol.Var(e.Atom), nil
+		}
+		for _, c := range p.Consts {
+			if c == e.Atom {
+				return fol.Const(e.Atom), nil
+			}
+		}
+		if _, ok := p.Preds[e.Atom]; ok {
+			return fol.Term{}, fmt.Errorf("smtlib: %q is a predicate, not a term", e.Atom)
+		}
+		return fol.Term{}, fmt.Errorf("smtlib: undeclared constant %q", e.Atom)
+	}
+	head := e.Head()
+	arity, ok := p.Funcs[head]
+	if !ok {
+		return fol.Term{}, fmt.Errorf("smtlib: unknown function %q", head)
+	}
+	if len(e.List)-1 != arity {
+		return fol.Term{}, fmt.Errorf("smtlib: function %q expects %d args, got %d", head, arity, len(e.List)-1)
+	}
+	args := make([]fol.Term, arity)
+	for i, a := range e.List[1:] {
+		t, err := p.toTerm(a, vars)
+		if err != nil {
+			return fol.Term{}, err
+		}
+		args[i] = t
+	}
+	return fol.App(head, args...), nil
+}

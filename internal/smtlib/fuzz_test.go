@@ -1,0 +1,51 @@
+package smtlib
+
+import "testing"
+
+// FuzzParse checks that the s-expression reader never panics and that any
+// successfully parsed input re-prints to something that parses again to
+// the same rendering (print/parse fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(set-logic UF)",
+		"(assert (forall ((x U)) (=> (p x) (q x))))",
+		"(declare-fun f (U U) Bool)",
+		"; comment\n(check-sat)",
+		`(set-info :source "quoted ""string""")`,
+		"(a (b (c (d))))",
+		"|quoted symbol|",
+		"((((",
+		"))))",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		exprs, err := Parse(src)
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		for _, e := range exprs {
+			printed := e.String()
+			re, err := ParseOne(printed)
+			if err != nil {
+				t.Fatalf("re-parse of %q failed: %v", printed, err)
+			}
+			if re.String() != printed {
+				t.Fatalf("print/parse not a fixpoint: %q -> %q", printed, re.String())
+			}
+		}
+	})
+}
+
+// FuzzDecodeScript checks the script decoder never panics on arbitrary
+// input.
+func FuzzDecodeScript(f *testing.F) {
+	f.Add("(declare-fun p () Bool)(assert p)(check-sat)")
+	f.Add("(declare-sort U 0)(declare-const a U)(assert (= a a))")
+	f.Add("(assert (forall ((x U)) x))")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = DecodeScript(src)
+	})
+}

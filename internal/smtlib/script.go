@@ -1,0 +1,225 @@
+package smtlib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+)
+
+// USort is the single uninterpreted sort over which all pipeline formulas
+// are typed, matching the paper's encoding of entities and data types as an
+// uninterpreted domain.
+const USort = "U"
+
+// Script is an SMT-LIB v2 script: an ordered list of commands.
+type Script struct {
+	// Commands holds the script's commands in order.
+	Commands []*SExpr
+}
+
+// NewScript returns a script preloaded with the standard header the paper's
+// compiler emits: logic and model production option.
+func NewScript(logic string) *Script {
+	s := &Script{}
+	s.Add(L(A("set-logic"), A(logic)))
+	s.Add(L(A("set-option"), A(":produce-models"), A("true")))
+	return s
+}
+
+// Add appends a command.
+func (s *Script) Add(cmd *SExpr) { s.Commands = append(s.Commands, cmd) }
+
+// String renders the script, one command per line.
+func (s *Script) String() string {
+	var b strings.Builder
+	for _, c := range s.Commands {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DeclareSort appends (declare-sort name 0).
+func (s *Script) DeclareSort(name string) {
+	s.Add(L(A("declare-sort"), A(name), A("0")))
+}
+
+// DeclareConst appends (declare-const name sort).
+func (s *Script) DeclareConst(name, sort string) {
+	s.Add(L(A("declare-const"), A(name), A(sort)))
+}
+
+// DeclareFun appends (declare-fun name (argSorts...) retSort).
+func (s *Script) DeclareFun(name string, argSorts []string, retSort string) {
+	args := make([]*SExpr, len(argSorts))
+	for i, a := range argSorts {
+		args[i] = A(a)
+	}
+	s.Add(L(A("declare-fun"), A(name), L(args...), A(retSort)))
+}
+
+// Assert appends (assert e).
+func (s *Script) Assert(e *SExpr) { s.Add(L(A("assert"), e)) }
+
+// CheckSat appends (check-sat).
+func (s *Script) CheckSat() { s.Add(L(A("check-sat"))) }
+
+// CheckSatAssuming appends (check-sat-assuming (lits...)).
+func (s *Script) CheckSatAssuming(lits ...*SExpr) {
+	s.Add(L(A("check-sat-assuming"), L(lits...)))
+}
+
+// Push and Pop append incremental-solving scope commands.
+func (s *Script) Push() { s.Add(L(A("push"), A("1"))) }
+
+// Pop appends (pop 1).
+func (s *Script) Pop() { s.Add(L(A("pop"), A("1"))) }
+
+// TermToSExpr converts a FOL term to its SMT-LIB rendering.
+func TermToSExpr(t fol.Term) *SExpr {
+	switch t.Kind {
+	case fol.TermVar, fol.TermConst:
+		return A(t.Name)
+	case fol.TermApp:
+		items := make([]*SExpr, 0, len(t.Args)+1)
+		items = append(items, A(t.Name))
+		for _, a := range t.Args {
+			items = append(items, TermToSExpr(a))
+		}
+		return L(items...)
+	default:
+		panic(fmt.Sprintf("smtlib: bad term kind %d", t.Kind))
+	}
+}
+
+// FormulaToSExpr converts a FOL formula to its SMT-LIB rendering. Quantified
+// variables are sorted as USort.
+func FormulaToSExpr(f *fol.Formula) *SExpr {
+	switch f.Op {
+	case fol.OpTrue:
+		return A("true")
+	case fol.OpFalse:
+		return A("false")
+	case fol.OpPred:
+		if len(f.Terms) == 0 {
+			return A(f.Pred)
+		}
+		items := make([]*SExpr, 0, len(f.Terms)+1)
+		items = append(items, A(f.Pred))
+		for _, t := range f.Terms {
+			items = append(items, TermToSExpr(t))
+		}
+		return L(items...)
+	case fol.OpEq:
+		return L(A("="), TermToSExpr(f.Terms[0]), TermToSExpr(f.Terms[1]))
+	case fol.OpNot:
+		return L(A("not"), FormulaToSExpr(f.Sub[0]))
+	case fol.OpAnd, fol.OpOr:
+		op := "and"
+		if f.Op == fol.OpOr {
+			op = "or"
+		}
+		items := make([]*SExpr, 0, len(f.Sub)+1)
+		items = append(items, A(op))
+		for _, s := range f.Sub {
+			items = append(items, FormulaToSExpr(s))
+		}
+		return L(items...)
+	case fol.OpImplies:
+		return L(A("=>"), FormulaToSExpr(f.Sub[0]), FormulaToSExpr(f.Sub[1]))
+	case fol.OpIff:
+		return L(A("="), FormulaToSExpr(f.Sub[0]), FormulaToSExpr(f.Sub[1]))
+	case fol.OpForall, fol.OpExists:
+		op := "forall"
+		if f.Op == fol.OpExists {
+			op = "exists"
+		}
+		binder := L(L(A(f.Bound), A(USort)))
+		return L(A(op), binder, FormulaToSExpr(f.Sub[0]))
+	default:
+		panic(fmt.Sprintf("smtlib: bad op %d", f.Op))
+	}
+}
+
+// CompileOptions controls Compile.
+type CompileOptions struct {
+	// Logic is the SMT-LIB logic name; defaults to "UF".
+	Logic string
+	// Comment, when non-empty, is emitted as a leading set-info line.
+	Comment string
+	// Negate asserts the negation of the formula, the standard encoding
+	// for validity checking ("assert the negation of the implication").
+	Negate bool
+}
+
+// Compile converts a FOL sentence into a complete SMT-LIB script: sort and
+// symbol declarations inferred from the formula's signature, the assertion
+// (negated when opts.Negate, the validity-checking convention from the
+// paper), and a final check-sat. Free variables are rejected — callers must
+// quantify or ground them first.
+func Compile(f *fol.Formula, opts CompileOptions) (*Script, error) {
+	if fv := fol.FreeVars(f); len(fv) > 0 {
+		return nil, fmt.Errorf("smtlib: formula has free variables %v", fv)
+	}
+	sig, err := fol.SignatureOf(f)
+	if err != nil {
+		return nil, err
+	}
+	logic := opts.Logic
+	if logic == "" {
+		logic = "UF"
+	}
+	s := NewScript(logic)
+	if opts.Comment != "" {
+		s.Add(L(A("set-info"), A(":source"), A("\""+strings.ReplaceAll(opts.Comment, `"`, `'`)+"\"")))
+	}
+	s.DeclareSort(USort)
+
+	for _, c := range sortedKeys(sig.Consts) {
+		s.DeclareConst(c, USort)
+	}
+	for _, fn := range sortedKeysInt(sig.Funcs) {
+		s.DeclareFun(fn, repeat(USort, sig.Funcs[fn]), USort)
+	}
+	for _, p := range sortedKeysInt(sig.Preds) {
+		if sig.Uninterpreted[p] {
+			s.Add(L(A("set-info"), A(":uninterpreted-placeholder"), A(p)))
+		}
+		s.DeclareFun(p, repeat(USort, sig.Preds[p]), "Bool")
+	}
+	body := FormulaToSExpr(f)
+	if opts.Negate {
+		body = L(A("not"), body)
+	}
+	s.Assert(body)
+	s.CheckSat()
+	return s, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysInt(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func repeat(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}

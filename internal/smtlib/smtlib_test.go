@@ -1,0 +1,269 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `(assert (forall ((x U)) (=> (user x) (share tiktok x))))`
+	es, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Fatalf("got %d exprs", len(es))
+	}
+	re, err := ParseOne(es[0].String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.String() != es[0].String() {
+		t.Errorf("round trip mismatch: %q vs %q", re.String(), es[0].String())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "; header comment\n(check-sat) ; trailing\n"
+	es, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 || es[0].Head() != "check-sat" {
+		t.Errorf("parse = %v", es)
+	}
+}
+
+func TestParseQuotedSymbol(t *testing.T) {
+	es, err := Parse(`(declare-const |email address| U)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es[0].List[1].Atom != "email address" {
+		t.Errorf("quoted symbol = %q", es[0].List[1].Atom)
+	}
+	// Printing re-quotes.
+	if !strings.Contains(es[0].String(), "|email address|") {
+		t.Errorf("print = %s", es[0])
+	}
+}
+
+func TestParseString(t *testing.T) {
+	es, err := Parse(`(set-info :source "a ""quoted"" policy")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(es[0].List[2].Atom, `quoted`) {
+		t.Errorf("string atom = %q", es[0].List[2].Atom)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"(", ")", "(a (b)", "|unterminated", `"open`} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestFormulaToSExpr(t *testing.T) {
+	f := fol.Forall("x", fol.Implies(
+		fol.Pred("user", fol.Var("x")),
+		fol.Or(
+			fol.Pred("share", fol.Const("tiktok"), fol.Var("x")),
+			fol.UninterpretedPred("required_by_law"),
+		),
+	))
+	got := FormulaToSExpr(f).String()
+	want := "(forall ((x U)) (=> (user x) (or (share tiktok x) required_by_law)))"
+	if got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestCompileDeclarations(t *testing.T) {
+	f := fol.Exists("x", fol.And(
+		fol.Pred("share", fol.Const("tiktok"), fol.App("dataOf", fol.Var("x"))),
+		fol.UninterpretedPred("legitimate_business_purpose"),
+	))
+	s, err := Compile(f, CompileOptions{Negate: true, Comment: "test query"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := s.String()
+	for _, want := range []string{
+		"(set-logic UF)",
+		"(declare-sort U 0)",
+		"(declare-const tiktok U)",
+		"(declare-fun dataOf (U) U)",
+		"(declare-fun share (U U) Bool)",
+		"(declare-fun legitimate_business_purpose () Bool)",
+		"(set-info :uninterpreted-placeholder legitimate_business_purpose)",
+		"(assert (not (exists ((x U))",
+		"(check-sat)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("script missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompileRejectsFreeVars(t *testing.T) {
+	if _, err := Compile(fol.Pred("p", fol.Var("x")), CompileOptions{}); err == nil {
+		t.Error("expected free-variable error")
+	}
+}
+
+func TestDecodeScriptRoundTrip(t *testing.T) {
+	f := fol.Forall("x", fol.Implies(
+		fol.Pred("user", fol.Var("x")),
+		fol.Or(
+			fol.Pred("share", fol.Const("tiktok"), fol.Var("x")),
+			fol.UninterpretedPred("required_by_law"),
+		),
+	))
+	s, err := Compile(f, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeScript(s.String())
+	if err != nil {
+		t.Fatalf("decode: %v\nscript:\n%s", err, s)
+	}
+	if p.Logic != "UF" || p.CheckSats != 1 {
+		t.Errorf("logic=%q checksats=%d", p.Logic, p.CheckSats)
+	}
+	if len(p.Asserts) != 1 {
+		t.Fatalf("asserts = %d", len(p.Asserts))
+	}
+	if !p.Asserts[0].Equal(f) {
+		t.Errorf("decoded formula %s != original %s", p.Asserts[0], f)
+	}
+	// Placeholder tag survives the round trip.
+	ua := p.Asserts[0].UninterpretedAtoms()
+	if len(ua) != 1 || ua[0] != "required_by_law" {
+		t.Errorf("placeholders lost: %v (decl list %v)", ua, p.Placeholders)
+	}
+}
+
+func TestDecodeMultiBinder(t *testing.T) {
+	src := `
+(declare-sort U 0)
+(declare-fun p (U U) Bool)
+(assert (forall ((x U) (y U)) (p x y)))
+(check-sat)`
+	p, err := DecodeScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Asserts[0]
+	if f.Op != fol.OpForall || f.Sub[0].Op != fol.OpForall {
+		t.Errorf("multi-binder not nested: %s", f)
+	}
+}
+
+func TestDecodeBooleanEquality(t *testing.T) {
+	src := `
+(declare-fun a () Bool)
+(declare-fun b () Bool)
+(assert (= a b))
+(check-sat)`
+	p, err := DecodeScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Asserts[0].Op != fol.OpIff {
+		t.Errorf("boolean = should decode to Iff: %s", p.Asserts[0])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, src := range []string{
+		`(assert undeclared)`,
+		`(declare-fun p (U) Bool)(assert (p a))`, // undeclared constant a
+		`(declare-fun p () Bool)(assert (p x))`,  // arity mismatch
+	} {
+		if _, err := DecodeScript(src); err == nil {
+			t.Errorf("DecodeScript(%q) should fail", src)
+		}
+	}
+}
+
+func TestQuoteSymbol(t *testing.T) {
+	if got := quoteSymbol("simple_symbol"); got != "simple_symbol" {
+		t.Errorf("simple symbol quoted: %q", got)
+	}
+	if got := quoteSymbol("has space"); got != "|has space|" {
+		t.Errorf("complex symbol not quoted: %q", got)
+	}
+}
+
+func TestScriptIncrementalCommands(t *testing.T) {
+	s := NewScript("UF")
+	s.Push()
+	s.CheckSatAssuming(A("a"), L(A("not"), A("b")))
+	s.Pop()
+	text := s.String()
+	for _, want := range []string{"(push 1)", "(check-sat-assuming (a (not b)))", "(pop 1)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// Property: printing then parsing an arbitrary tree of safe atoms is the
+// identity.
+func TestSExprRoundTripProperty(t *testing.T) {
+	f := func(depth uint8, widths []uint8) bool {
+		e := buildTree(int(depth%4), widths, 0)
+		re, err := ParseOne(e.String())
+		if err != nil {
+			return false
+		}
+		return re.String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTree(depth int, widths []uint8, idx int) *SExpr {
+	if depth == 0 || len(widths) == 0 {
+		return A("a" + string(rune('a'+idx%26)))
+	}
+	w := int(widths[idx%len(widths)])%3 + 1
+	items := make([]*SExpr, w)
+	for i := range items {
+		items[i] = buildTree(depth-1, widths, idx+i+1)
+	}
+	return L(items...)
+}
+
+func TestDecodeDistinct(t *testing.T) {
+	src := `
+(declare-sort U 0)
+(declare-const a U)
+(declare-const b U)
+(declare-const c U)
+(assert (distinct a b c))
+(check-sat)`
+	p, err := DecodeScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Asserts[0]
+	if f.Op != fol.OpAnd || len(f.Sub) != 3 {
+		t.Fatalf("distinct decoded to %s", f)
+	}
+	for _, s := range f.Sub {
+		if s.Op != fol.OpNot || s.Sub[0].Op != fol.OpEq {
+			t.Errorf("distinct clause = %s", s)
+		}
+	}
+	if _, err := DecodeScript(`(declare-const a U)(assert (distinct a))`); err == nil {
+		t.Error("unary distinct should fail")
+	}
+}

@@ -1,0 +1,187 @@
+// Package taxonomy implements Chain-of-Layer (CoL) taxonomy induction: the
+// hierarchy is built iteratively by prompting the language model for a root
+// concept and then, layer by layer, for the immediate subcategories of each
+// frontier node, with an optional SciBERT-style similarity filter that
+// removes unlikely parent/child relationships. Every input term ends up in
+// the hierarchy exactly once, per the CoL invariant.
+package taxonomy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/privacy-quagmire/quagmire/internal/embed"
+	"github.com/privacy-quagmire/quagmire/internal/graph"
+	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/nlp"
+)
+
+// Builder constructs hierarchies via CoL prompting.
+type Builder struct {
+	// Client is the language model used for root and layer prompts.
+	Client llm.Client
+	// Filter, when non-nil, scores candidate parent/child pairs and drops
+	// those below FilterThreshold (the paper's optional SciBERT filter).
+	Filter *embed.Model
+	// FilterThreshold is the minimum similarity for a filtered edge.
+	FilterThreshold float64
+	// MaxLayers bounds CoL iterations; default 6.
+	MaxLayers int
+
+	// Stats from the last Build call.
+	Stats Stats
+}
+
+// Stats reports effort and filtering counters for one Build.
+type Stats struct {
+	// Layers is the number of CoL iterations performed.
+	Layers int
+	// LLMCalls counts model invocations.
+	LLMCalls int
+	// Filtered counts parent/child pairs rejected by the similarity
+	// filter.
+	Filtered int
+	// Fallback counts terms attached directly to the root because no
+	// layer claimed them.
+	Fallback int
+}
+
+// Build induces a hierarchy of the given kind ("data" or "entity") over the
+// terms. Terms are canonicalized and deduplicated first.
+func (b *Builder) Build(ctx context.Context, kind string, terms []string) (*graph.Hierarchy, error) {
+	if b.Client == nil {
+		return nil, fmt.Errorf("taxonomy: Builder.Client is nil")
+	}
+	b.Stats = Stats{}
+	maxLayers := b.MaxLayers
+	if maxLayers <= 0 {
+		maxLayers = 6
+	}
+
+	canon := map[string]bool{}
+	var remaining []string
+	for _, t := range terms {
+		c := nlp.CanonicalTerm(t)
+		if c == "" || canon[c] {
+			continue
+		}
+		canon[c] = true
+		remaining = append(remaining, c)
+	}
+	sort.Strings(remaining)
+
+	root, err := b.root(ctx, kind, remaining)
+	if err != nil {
+		return nil, err
+	}
+	h := graph.NewHierarchy(root)
+	remaining = removeTerm(remaining, root)
+
+	frontier := []string{root}
+	for layer := 0; layer < maxLayers && len(remaining) > 0 && len(frontier) > 0; layer++ {
+		b.Stats.Layers++
+		children, err := b.layer(ctx, kind, frontier, remaining)
+		if err != nil {
+			return nil, err
+		}
+		var nextFrontier []string
+		progressed := false
+		parents := make([]string, 0, len(children))
+		for p := range children {
+			parents = append(parents, p)
+		}
+		sort.Strings(parents)
+		for _, parent := range parents {
+			for _, child := range children[parent] {
+				if h.Has(child) {
+					continue
+				}
+				if b.rejectedByFilter(parent, child) {
+					b.Stats.Filtered++
+					continue
+				}
+				if err := h.Add(parent, child); err != nil {
+					// The model proposed an inconsistent placement; skip
+					// it and let the fallback handle the term.
+					continue
+				}
+				progressed = true
+				nextFrontier = append(nextFrontier, child)
+				remaining = removeTerm(remaining, child)
+			}
+		}
+		if !progressed {
+			break
+		}
+		frontier = nextFrontier
+	}
+	// CoL invariant: every term appears exactly once. Unclaimed terms
+	// attach to the root.
+	for _, t := range remaining {
+		if !h.Has(t) {
+			if err := h.Add(root, t); err != nil {
+				return nil, err
+			}
+			b.Stats.Fallback++
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// rejectedByFilter applies the similarity filter to a candidate edge.
+// Synthesized category parents always pass: the filter targets noisy
+// term-to-term attachments, not abstract buckets.
+func (b *Builder) rejectedByFilter(parent, child string) bool {
+	if b.Filter == nil || b.FilterThreshold <= 0 {
+		return false
+	}
+	if len(nlp.ContentWords(parent)) == 0 {
+		return false
+	}
+	return b.Filter.Similarity(parent, child) < b.FilterThreshold
+}
+
+func (b *Builder) root(ctx context.Context, kind string, terms []string) (string, error) {
+	b.Stats.LLMCalls++
+	resp, err := b.Client.Complete(ctx, llm.TaxonomyRootPrompt(kind, terms))
+	if err != nil {
+		return "", fmt.Errorf("taxonomy: root prompt: %w", err)
+	}
+	var out struct {
+		Root string `json:"root"`
+	}
+	if err := json.Unmarshal([]byte(resp.Text), &out); err != nil || out.Root == "" {
+		return "", fmt.Errorf("taxonomy: %w: %q", llm.ErrMalformedOutput, resp.Text)
+	}
+	return nlp.CanonicalTerm(out.Root), nil
+}
+
+func (b *Builder) layer(ctx context.Context, kind string, frontier, remaining []string) (map[string][]string, error) {
+	b.Stats.LLMCalls++
+	resp, err := b.Client.Complete(ctx, llm.TaxonomyLayerPrompt(kind, frontier, remaining))
+	if err != nil {
+		return nil, fmt.Errorf("taxonomy: layer prompt: %w", err)
+	}
+	var out struct {
+		Children map[string][]string `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(resp.Text), &out); err != nil {
+		return nil, fmt.Errorf("taxonomy: %w: %q", llm.ErrMalformedOutput, resp.Text)
+	}
+	return out.Children, nil
+}
+
+func removeTerm(terms []string, t string) []string {
+	out := terms[:0]
+	for _, x := range terms {
+		if x != t {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package quagmire
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	an, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := an.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Company() != "Acme" {
+		t.Errorf("company = %q", a.Company())
+	}
+	st := a.Stats()
+	if st.Edges == 0 {
+		t.Fatal("no edges")
+	}
+	if a.Practices() == 0 {
+		t.Error("no practices")
+	}
+	if len(a.Edges()) != st.Edges {
+		t.Errorf("Edges() length %d != stats %d", len(a.Edges()), st.Edges)
+	}
+	// Edge rendering uses the paper's notation.
+	if !strings.Contains(a.Edges()[0], "]-") || !strings.Contains(a.Edges()[0], "->[") {
+		t.Errorf("edge rendering = %q", a.Edges()[0])
+	}
+	res, err := a.Ask(context.Background(), "Does Acme share my email address with advertising partners?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Errorf("verdict = %s", res.Verdict)
+	}
+	vague := a.VagueConditions()
+	if len(vague) == 0 {
+		t.Error("no vague conditions surfaced")
+	}
+}
+
+func TestPublicAPIUpdate(t *testing.T) {
+	an, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := an.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(corpus.Mini(), "We collect device identifiers automatically.",
+		"We collect device identifiers and voiceprints automatically.", 1)
+	a2, diff, st, err := an.Update(context.Background(), a1, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Added) != 1 || st.EdgesAdded == 0 {
+		t.Errorf("diff=%+v stats=%+v", diff, st)
+	}
+	if a2.Stats().Edges <= 0 {
+		t.Error("updated analysis empty")
+	}
+}
+
+func TestPublicAPIWithExplicitModel(t *testing.T) {
+	an, err := New(Config{Model: SimulatedModel(), TaxonomyFilterThreshold: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := an.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Edges == 0 {
+		t.Error("no edges with explicit model")
+	}
+	if EmbeddingModel() == nil {
+		t.Error("nil embedding model")
+	}
+}
+
+func TestPublicAPIExplore(t *testing.T) {
+	an, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := an.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := a.Explore(context.Background(), "Does Acme share my usage data with service providers?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Scenarios) < 2 || exp.AlwaysValid || exp.NeverValid {
+		t.Errorf("exploration = %+v", exp)
+	}
+}
