@@ -322,13 +322,87 @@ func BenchmarkConcurrentExtraction(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := extract.New(llm.NewSim())
-				e.Concurrency = workers
+				e.Workers = workers
 				if _, err := e.ExtractPolicy(ctx, text); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// batchQueries is the multi-query verification workload: distinct
+// questions against the Mini policy, so no two batch items collapse into
+// one solver problem unless the cache is shared across repeats.
+var batchQueries = []string{
+	"Does Acme share my email address with advertising partners?",
+	"Does Acme collect my device identifiers?",
+	"Does Acme sell my personal information?",
+	"Does Acme share my usage data with service providers?",
+	"Does Acme collect my email address?",
+	"Does Acme share my precise location with advertising partners?",
+	"Does Acme use my contact information?",
+	"Does Acme share my browsing history with analytics providers?",
+}
+
+// Parallel-vs-sequential batch verification (Phase 3): workers > 1 must
+// beat workers = 1 on a multi-query workload. The engine carries no result
+// cache, so every query pays the full solver cost on every iteration and
+// the comparison isolates the worker pool.
+func BenchmarkBatchVerification(b *testing.B) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			eng := newMiniEngine(b)
+			eng.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				items, err := eng.AskBatch(ctx, batchQueries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, it := range items {
+					if it.Err != nil {
+						b.Fatal(it.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(batchQueries)), "queries/op")
+		})
+	}
+}
+
+// SMT result cache effectiveness: the same batch re-verified against a
+// shared cache skips the solver on every repeat. Reported hit/miss
+// counters come straight from the cache.
+func BenchmarkBatchVerificationCached(b *testing.B) {
+	ctx := context.Background()
+	eng := newMiniEngine(b)
+	eng.Workers = 4
+	eng.Cache = smt.NewResultCache(0)
+	// Warm the cache once so every timed iteration is all hits.
+	if _, err := eng.AskBatch(ctx, batchQueries); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, err := eng.AskBatch(ctx, batchQueries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, it := range items {
+			if it.Err != nil {
+				b.Fatal(it.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := eng.Cache.Stats()
+	if st.Hits == 0 {
+		b.Fatal("repeated batches should hit the SMT result cache")
+	}
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+	b.ReportMetric(float64(st.Misses), "cache-misses")
 }
 
 // HTTP round-trip cost of a query through the full server stack.

@@ -6,7 +6,8 @@
 //
 //	quagmire analyze  <policy.txt>             extraction statistics (Table 1 metrics)
 //	quagmire edges    <policy.txt>             all [actor]-action->[object] edges
-//	quagmire ask      <policy.txt> "<query>"   three-valued compliance verdict
+//	quagmire ask      <policy.txt> "<query>" ["<query>" ...]  three-valued compliance verdict(s);
+//	                                           multiple queries verify concurrently over -workers
 //	quagmire diff     <old.txt> <new.txt>      segment-level policy diff
 //	quagmire vague    <policy.txt>             vague conditions needing human review
 //	quagmire report   <policy.txt>             markdown audit report
@@ -50,6 +51,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("quagmire", flag.ContinueOnError)
 	cacheDir := fs.String("cache", "", "directory for persisted intermediates")
 	maxInst := fs.Int("max-instantiations", 0, "SMT quantifier-instantiation budget (0 = default)")
+	workers := fs.Int("workers", 0, "extraction and batch-verification parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +63,7 @@ func run(args []string) error {
 	cfg := quagmire.Config{
 		CacheDir:     *cacheDir,
 		SolverLimits: quagmire.SolverLimits{MaxInstantiations: *maxInst},
+		Workers:      *workers,
 	}
 
 	switch rest[0] {
@@ -97,25 +100,48 @@ func run(args []string) error {
 
 	case "ask":
 		if len(rest) < 3 {
-			return fmt.Errorf("usage: quagmire ask <policy.txt> \"<query>\"")
+			return fmt.Errorf("usage: quagmire ask <policy.txt> \"<query>\" [\"<query>\" ...]")
 		}
-		a, err := analyzeFile(ctx, cfg, rest[1:2])
+		an, a, err := analyzeFileWith(ctx, cfg, rest[1:2])
 		if err != nil {
 			return err
 		}
-		res, err := a.Ask(ctx, rest[2])
+		queries := rest[2:]
+		if len(queries) == 1 {
+			res, err := a.Ask(ctx, queries[0])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("verdict: %s\n", res.Verdict)
+			if len(res.ConditionalOn) > 0 {
+				fmt.Printf("conditional on: %s\n", strings.Join(res.ConditionalOn, ", "))
+			}
+			for _, p := range res.Placeholders {
+				fmt.Printf("uninterpreted placeholder: %s\n", p)
+			}
+			for _, e := range res.MatchedEdges {
+				fmt.Printf("evidence: %s\n", e)
+			}
+			return nil
+		}
+		// Multi-query mode: verify the batch concurrently.
+		items, err := a.AskBatch(ctx, queries)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("verdict: %s\n", res.Verdict)
-		if len(res.ConditionalOn) > 0 {
-			fmt.Printf("conditional on: %s\n", strings.Join(res.ConditionalOn, ", "))
+		failed := 0
+		for _, it := range items {
+			if it.Err != nil {
+				failed++
+				fmt.Printf("ERROR    %s (%v)\n", it.Query, it.Err)
+				continue
+			}
+			fmt.Printf("%-8s %s\n", it.Result.Verdict, it.Query)
 		}
-		for _, p := range res.Placeholders {
-			fmt.Printf("uninterpreted placeholder: %s\n", p)
-		}
-		for _, e := range res.MatchedEdges {
-			fmt.Printf("evidence: %s\n", e)
+		cs := an.SMTCacheStats()
+		fmt.Printf("smt cache: %d hits / %d misses\n", cs.Hits, cs.Misses)
+		if failed > 0 {
+			return fmt.Errorf("%d quer(ies) failed", failed)
 		}
 		return nil
 
@@ -388,18 +414,29 @@ func analyzeCore(ctx context.Context, cacheDir string, maxInst int, path string)
 }
 
 func analyzeFile(ctx context.Context, cfg quagmire.Config, args []string) (*quagmire.Analysis, error) {
+	_, a, err := analyzeFileWith(ctx, cfg, args)
+	return a, err
+}
+
+// analyzeFileWith also returns the analyzer, for subcommands that report
+// analyzer-level instrumentation (e.g. SMT cache counters).
+func analyzeFileWith(ctx context.Context, cfg quagmire.Config, args []string) (*quagmire.Analyzer, *quagmire.Analysis, error) {
 	if len(args) < 1 {
-		return nil, fmt.Errorf("missing policy file")
+		return nil, nil, fmt.Errorf("missing policy file")
 	}
 	text, err := readPolicy(args[0])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	an, err := quagmire.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return an.Analyze(ctx, text)
+	a, err := an.Analyze(ctx, text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return an, a, nil
 }
 
 // readPolicy loads a policy file, converting HTML pages to pipeline text.

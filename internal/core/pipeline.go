@@ -32,6 +32,13 @@ type Options struct {
 	Limits smt.Limits
 	// CacheDir, when non-empty, persists intermediates there.
 	CacheDir string
+	// Workers bounds both Phase 1 segment-extraction fan-out and Phase 3
+	// batch verification; 0 selects runtime.GOMAXPROCS(0), 1 forces
+	// sequential processing.
+	Workers int
+	// SMTCacheSize bounds the shared SMT result cache (entries); 0 selects
+	// the default, negative disables caching.
+	SMTCacheSize int
 }
 
 // Pipeline runs Algorithm 1.
@@ -42,6 +49,8 @@ type Pipeline struct {
 	kgBuilder *kg.Builder
 	limits    smt.Limits
 	store     *cache.Store
+	workers   int
+	smtCache  *smt.ResultCache
 }
 
 // New constructs a pipeline from options.
@@ -59,12 +68,18 @@ func New(opts Options) (*Pipeline, error) {
 		tb.Filter = embed.NewModel("scibert-sim")
 		tb.FilterThreshold = opts.TaxonomyFilterThreshold
 	}
+	extractor := extract.New(client)
+	extractor.Workers = opts.Workers
 	p := &Pipeline{
 		client:    client,
 		model:     model,
-		extractor: extract.New(client),
+		extractor: extractor,
 		kgBuilder: kg.NewBuilder(tb),
 		limits:    opts.Limits,
+		workers:   opts.Workers,
+	}
+	if opts.SMTCacheSize >= 0 {
+		p.smtCache = smt.NewResultCache(opts.SMTCacheSize)
 	}
 	if opts.CacheDir != "" {
 		store, err := cache.Open(opts.CacheDir)
@@ -74,6 +89,25 @@ func New(opts Options) (*Pipeline, error) {
 		p.store = store
 	}
 	return p, nil
+}
+
+// SMTCacheStats reports the shared SMT result cache's hit/miss counters;
+// zero-valued when caching is disabled.
+func (p *Pipeline) SMTCacheStats() smt.CacheStats {
+	if p.smtCache == nil {
+		return smt.CacheStats{}
+	}
+	return p.smtCache.Stats()
+}
+
+// newEngine builds a query engine over a graph with the pipeline's limits,
+// worker pool and shared SMT cache applied.
+func (p *Pipeline) newEngine(k *kg.KnowledgeGraph) *query.Engine {
+	e := query.NewEngine(k, p.client, p.model)
+	e.Limits = p.limits
+	e.Workers = p.workers
+	e.Cache = p.smtCache
+	return e
 }
 
 // Analysis is the result of running Phases 1–2 over one policy version,
@@ -102,8 +136,7 @@ func (p *Pipeline) Analyze(ctx context.Context, policy string) (*Analysis, error
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
 	a := &Analysis{Extraction: ex, KG: k}
-	a.Engine = query.NewEngine(k, p.client, p.model)
-	a.Engine.Limits = p.limits
+	a.Engine = p.newEngine(k)
 	if p.store != nil {
 		if err := p.persist(a); err != nil {
 			return nil, err
@@ -114,19 +147,21 @@ func (p *Pipeline) Analyze(ctx context.Context, policy string) (*Analysis, error
 
 // Update applies a new policy version to an existing analysis
 // incrementally: only changed segments are re-extracted and only affected
-// graph branches are touched.
+// graph branches are touched. The previous analysis is never mutated — the
+// update works on a copy of its graph — so readers (e.g. concurrent server
+// requests) can keep querying prev while the new version is built.
 func (p *Pipeline) Update(ctx context.Context, prev *Analysis, newPolicy string) (*Analysis, segment.Diff, kg.UpdateStats, error) {
 	ex, diff, err := p.extractor.ReExtract(ctx, prev.Extraction, newPolicy)
 	if err != nil {
 		return nil, diff, kg.UpdateStats{}, fmt.Errorf("core: incremental phase 1: %w", err)
 	}
-	st, err := p.kgBuilder.Update(ctx, prev.KG, diff, ex)
+	k := prev.KG.Clone()
+	st, err := p.kgBuilder.Update(ctx, k, diff, ex)
 	if err != nil {
 		return nil, diff, st, fmt.Errorf("core: incremental phase 2: %w", err)
 	}
-	a := &Analysis{Extraction: ex, KG: prev.KG}
-	a.Engine = query.NewEngine(a.KG, p.client, p.model)
-	a.Engine.Limits = p.limits
+	a := &Analysis{Extraction: ex, KG: k}
+	a.Engine = p.newEngine(k)
 	if p.store != nil {
 		if err := p.persist(a); err != nil {
 			return nil, diff, st, err
@@ -138,6 +173,12 @@ func (p *Pipeline) Update(ctx context.Context, prev *Analysis, newPolicy string)
 // Ask answers a natural-language query against an analysis (Phase 3).
 func (p *Pipeline) Ask(ctx context.Context, a *Analysis, q string) (*query.Result, error) {
 	return a.Engine.Ask(ctx, q)
+}
+
+// AskBatch verifies many queries concurrently against an analysis over the
+// pipeline's worker pool and shared SMT result cache (Phase 3, batched).
+func (p *Pipeline) AskBatch(ctx context.Context, a *Analysis, queries []string) ([]query.BatchItem, error) {
+	return a.Engine.AskBatch(ctx, queries)
 }
 
 // LoadAnalysis restores a persisted analysis for the given company from
@@ -171,8 +212,7 @@ func (p *Pipeline) LoadAnalysis(company string) (*Analysis, error) {
 		return nil, err
 	}
 	a := &Analysis{Extraction: &ex, KG: k}
-	a.Engine = query.NewEngine(k, p.client, p.model)
-	a.Engine.Limits = p.limits
+	a.Engine = p.newEngine(k)
 	return a, nil
 }
 

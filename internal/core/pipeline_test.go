@@ -101,6 +101,73 @@ func TestIncrementalUpdatePipeline(t *testing.T) {
 	}
 }
 
+func TestUpdateDoesNotMutatePrevAnalysis(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a1.Stats()
+	edited := strings.Replace(corpus.Mini(),
+		"We collect device identifiers automatically.",
+		"We collect device identifiers and browsing history automatically.", 1)
+	a2, _, _, err := p.Update(context.Background(), a1, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.KG == a1.KG {
+		t.Fatal("update must not alias the previous analysis's graph")
+	}
+	if after := a1.Stats(); after != before {
+		t.Errorf("previous analysis mutated by update: %+v -> %+v", before, after)
+	}
+	if a1.KG.ED.HasNode("browsing history") {
+		t.Error("new node leaked into the previous graph")
+	}
+	// The old engine still answers against the old graph.
+	res, err := a1.Engine.Ask(context.Background(), "Does Acme collect my device identifiers?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != query.Valid {
+		t.Errorf("pre-update engine verdict = %s", res.Verdict)
+	}
+}
+
+func TestPipelineAskBatchSharesCache(t *testing.T) {
+	p, err := New(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []string{
+		"Does Acme share my email address with advertising partners?",
+		"Does Acme collect my device identifiers?",
+		"Does Acme share my email address with advertising partners?",
+	}
+	items, err := p.AskBatch(context.Background(), a, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("query %d: %v", i, it.Err)
+		}
+	}
+	if items[0].Result.Verdict != items[2].Result.Verdict {
+		t.Errorf("repeated query verdicts diverged: %s vs %s", items[0].Result.Verdict, items[2].Result.Verdict)
+	}
+	if st := p.SMTCacheStats(); st.Hits == 0 {
+		t.Errorf("repeated query should hit the pipeline's SMT cache: %+v", st)
+	}
+}
+
 func TestTaxonomyFilterOption(t *testing.T) {
 	p, err := New(Options{TaxonomyFilterThreshold: 0.2})
 	if err != nil {

@@ -8,7 +8,9 @@ package extract
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -42,6 +44,10 @@ type Extraction struct {
 	Practices []Practice `json:"practices"`
 	// BySegment indexes practices by segment ID.
 	BySegment map[string][]Practice `json:"-"`
+	// SegmentErrors aggregates (errors.Join) the per-segment failures that
+	// were skipped with degradation; nil when every segment extracted
+	// cleanly. Not serialized.
+	SegmentErrors error `json:"-"`
 }
 
 // Stats reports extraction effort.
@@ -61,12 +67,39 @@ type Stats struct {
 type Extractor struct {
 	// Client is the language model; required.
 	Client llm.Client
-	// Concurrency is the number of segments extracted in parallel; values
-	// below 2 select sequential extraction. The model client must be safe
-	// for concurrent use (SimLLM and all middleware are).
-	Concurrency int
-	// Stats accumulates counters across calls.
+	// Workers is the number of segments extracted in parallel; 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces sequential extraction. The model
+	// client must be safe for concurrent use (SimLLM and all middleware
+	// are).
+	Workers int
+	// FailFast aborts the whole extraction on the first segment error,
+	// cancelling in-flight siblings, instead of skipping failed segments
+	// with degradation. The returned error joins every segment failure
+	// observed before the cancellation took effect.
+	FailFast bool
+	// Stats accumulates counters across calls. Mutations are guarded by an
+	// internal mutex so extractions may run concurrently; read it directly
+	// only when no call is in flight, or use StatsSnapshot.
 	Stats Stats
+
+	statsMu sync.Mutex
+}
+
+// addStats folds a per-call delta into the shared counters.
+func (e *Extractor) addStats(d Stats) {
+	e.statsMu.Lock()
+	e.Stats.Segments += d.Segments
+	e.Stats.Practices += d.Practices
+	e.Stats.LLMCalls += d.LLMCalls
+	e.Stats.Errors += d.Errors
+	e.statsMu.Unlock()
+}
+
+// StatsSnapshot returns a race-free copy of the accumulated counters.
+func (e *Extractor) StatsSnapshot() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.Stats
 }
 
 // New returns an extractor over the given client.
@@ -75,7 +108,7 @@ func New(client llm.Client) *Extractor { return &Extractor{Client: client} }
 // CompanyName extracts the organization name from the policy's opening
 // 1000 characters (Algorithm 1 line 2).
 func (e *Extractor) CompanyName(ctx context.Context, policy string) (string, error) {
-	e.Stats.LLMCalls++
+	e.addStats(Stats{LLMCalls: 1})
 	resp, err := e.Client.Complete(ctx, llm.CompanyNamePrompt(policy))
 	if err != nil {
 		return "", fmt.Errorf("extract: company name: %w", err)
@@ -132,13 +165,15 @@ func isLetter(c byte) bool {
 // ExtractSegment extracts the data practices of one coreference-resolved
 // segment (Algorithm 1 line 7).
 func (e *Extractor) ExtractSegment(ctx context.Context, company string, seg segment.Segment) ([]Practice, error) {
-	e.Stats.LLMCalls++
+	e.addStats(Stats{LLMCalls: 1})
 	return e.extractOne(ctx, company, seg)
 }
 
 // ExtractPolicy runs full Phase 1 over a policy text: company name,
-// segmentation, per-segment extraction. Segments whose extraction fails are
-// counted and skipped rather than aborting the run.
+// segmentation, per-segment extraction over the worker pool. Segments whose
+// extraction fails are counted and skipped rather than aborting the run
+// (unless FailFast is set); the joined failures are reported on
+// Extraction.SegmentErrors either way.
 func (e *Extractor) ExtractPolicy(ctx context.Context, policy string) (*Extraction, error) {
 	company, err := e.CompanyName(ctx, policy)
 	if err != nil {
@@ -151,52 +186,88 @@ func (e *Extractor) ExtractPolicy(ctx context.Context, policy string) (*Extracti
 		BySegment: map[string][]Practice{},
 	}
 	results, errs := e.extractAll(ctx, company, segs)
+	var d Stats
+	defer func() { e.addStats(d) }()
+	d.LLMCalls += len(segs)
+	var segErrs []error
 	for i, seg := range segs {
-		e.Stats.Segments++
+		d.Segments++
 		if errs[i] != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			e.Stats.Errors++
+			d.Errors++
+			// Sibling aborts from a fail-fast cancellation are not segment
+			// failures in their own right.
+			if !errors.Is(errs[i], context.Canceled) {
+				segErrs = append(segErrs, errs[i])
+			}
 			continue
 		}
 		ps := results[i]
-		e.Stats.Practices += len(ps)
+		d.Practices += len(ps)
 		ex.Practices = append(ex.Practices, ps...)
 		// Record even practice-free segments so incremental re-extraction
 		// recognizes them as already processed.
 		ex.BySegment[seg.ID] = ps
 	}
+	ex.SegmentErrors = errors.Join(segErrs...)
+	if e.FailFast && ex.SegmentErrors != nil {
+		return nil, ex.SegmentErrors
+	}
 	return ex, nil
 }
 
-// extractAll runs per-segment extraction, fanning out across a bounded
-// worker pool when Concurrency >= 2. Results are positionally aligned with
-// segs so output order is deterministic regardless of scheduling.
+// workerCount resolves the effective pool size.
+func (e *Extractor) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// extractAll runs per-segment extraction over a bounded worker pool.
+// Results are positionally aligned with segs so output order is
+// deterministic regardless of scheduling. Cancelling ctx — or, under
+// FailFast, the first segment failure — cancels in-flight siblings;
+// unattempted segments report the context error.
 func (e *Extractor) extractAll(ctx context.Context, company string, segs []segment.Segment) ([][]Practice, []error) {
 	results := make([][]Practice, len(segs))
 	errs := make([]error, len(segs))
-	workers := e.Concurrency
-	if workers < 2 {
-		for i, seg := range segs {
-			results[i], errs[i] = e.extractOne(ctx, company, seg)
-		}
-		e.Stats.LLMCalls += len(segs)
+	if len(segs) == 0 {
 		return results, errs
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, seg := range segs {
-		wg.Add(1)
-		go func(i int, seg segment.Segment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = e.extractOne(ctx, company, seg)
-		}(i, seg)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := e.workerCount()
+	if workers > len(segs) {
+		workers = len(segs)
 	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = e.extractOne(ctx, company, segs[i])
+				if errs[i] != nil && e.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+	// Workers drain the channel even after cancellation (marking skipped
+	// jobs with the context error), so dispatch never blocks indefinitely.
+	for i := range segs {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
-	e.Stats.LLMCalls += len(segs)
 	return results, errs
 }
 
@@ -227,7 +298,8 @@ func (e *Extractor) extractOne(ctx context.Context, company string, seg segment.
 
 // ReExtract updates a previous extraction for a new policy version,
 // re-running the model only on added segments (the paper's diff-based
-// incremental processing). It returns the new extraction and the diff.
+// incremental processing) — fanned out over the same worker pool as
+// ExtractPolicy. It returns the new extraction and the diff.
 func (e *Extractor) ReExtract(ctx context.Context, prev *Extraction, newPolicy string) (*Extraction, segment.Diff, error) {
 	company, err := e.CompanyName(ctx, newPolicy)
 	if err != nil {
@@ -240,25 +312,47 @@ func (e *Extractor) ReExtract(ctx context.Context, prev *Extraction, newPolicy s
 		Segments:  newSegs,
 		BySegment: map[string][]Practice{},
 	}
+	reuse := company == prev.Company
+	// Collect the segments that actually need model calls, in order.
+	var todo []segment.Segment
 	for _, seg := range newSegs {
-		if prevPs, ok := prev.BySegment[seg.ID]; ok && company == prev.Company {
+		if _, ok := prev.BySegment[seg.ID]; !ok || !reuse {
+			todo = append(todo, seg)
+		}
+	}
+	results, errs := e.extractAll(ctx, company, todo)
+	var d Stats
+	defer func() { e.addStats(d) }()
+	d.LLMCalls += len(todo)
+	ti := 0
+	var segErrs []error
+	for _, seg := range newSegs {
+		if prevPs, ok := prev.BySegment[seg.ID]; ok && reuse {
 			// Unchanged segment: reuse prior practices without an LLM call.
 			ex.Practices = append(ex.Practices, prevPs...)
 			ex.BySegment[seg.ID] = prevPs
 			continue
 		}
-		e.Stats.Segments++
-		ps, err := e.ExtractSegment(ctx, company, seg)
-		if err != nil {
+		d.Segments++
+		ps, segErr := results[ti], errs[ti]
+		ti++
+		if segErr != nil {
 			if ctx.Err() != nil {
 				return nil, diff, ctx.Err()
 			}
-			e.Stats.Errors++
+			d.Errors++
+			if !errors.Is(segErr, context.Canceled) {
+				segErrs = append(segErrs, segErr)
+			}
 			continue
 		}
-		e.Stats.Practices += len(ps)
+		d.Practices += len(ps)
 		ex.Practices = append(ex.Practices, ps...)
 		ex.BySegment[seg.ID] = ps
+	}
+	ex.SegmentErrors = errors.Join(segErrs...)
+	if e.FailFast && ex.SegmentErrors != nil {
+		return nil, diff, ex.SegmentErrors
 	}
 	return ex, diff, nil
 }

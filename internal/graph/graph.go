@@ -207,6 +207,27 @@ func (g *Graph) Neighborhood(start string, depth int) map[string]bool {
 	return seen
 }
 
+// Clone returns a deep copy of the graph. Mutating the clone (or the
+// original) leaves the other untouched, which is what lets incremental
+// updates produce a fresh graph version while readers keep querying the
+// old one.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, n := range g.Nodes() {
+		node := c.AddNode(n.ID, n.Kind)
+		if n.Attrs != nil {
+			node.Attrs = make(map[string]string, len(n.Attrs))
+			for k, v := range n.Attrs {
+				node.Attrs[k] = v
+			}
+		}
+	}
+	for _, e := range g.edges {
+		c.AddEdge(*e)
+	}
+	return c
+}
+
 // Subgraph returns a new graph containing only the given nodes and the
 // edges among them.
 func (g *Graph) Subgraph(keep map[string]bool) *Graph {

@@ -45,6 +45,17 @@ type Stats struct {
 	DataTypes int
 }
 
+// Clone returns a deep copy of the knowledge graph, so an incremental
+// update can build a new version while readers keep using the old one.
+func (k *KnowledgeGraph) Clone() *KnowledgeGraph {
+	return &KnowledgeGraph{
+		Company: k.Company,
+		ED:      k.ED.Clone(),
+		DataH:   k.DataH.Clone(),
+		EntityH: k.EntityH.Clone(),
+	}
+}
+
 // Stats computes the Table 1 metrics for the graph.
 func (k *KnowledgeGraph) Stats() Stats {
 	entities := map[string]bool{}

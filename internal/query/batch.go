@@ -1,0 +1,67 @@
+package query
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchItem is the outcome of one query in an AskBatch call: either a
+// Result or the error that query failed with. Queries are independent, so
+// one failure does not abort its siblings.
+type BatchItem struct {
+	// Query is the natural-language question as submitted.
+	Query string `json:"query"`
+	// Result is the verification outcome; nil when Err is set.
+	Result *Result `json:"result,omitempty"`
+	// Err is the per-query failure; nil on success.
+	Err error `json:"-"`
+}
+
+// AskBatch verifies many natural-language queries concurrently over a
+// bounded worker pool (Engine.Workers wide), sharing the engine's SMT
+// result cache so overlapping queries solve once. Items are returned in
+// input order regardless of scheduling. Per-query failures are reported on
+// the corresponding item; the batch itself only errors when ctx is
+// cancelled, in which case it returns promptly with ctx.Err().
+func (e *Engine) AskBatch(ctx context.Context, queries []string) ([]BatchItem, error) {
+	items := make([]BatchItem, len(queries))
+	if len(queries) == 0 {
+		return items, nil
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				items[i].Query = queries[i]
+				if err := ctx.Err(); err != nil {
+					items[i].Err = err
+					continue
+				}
+				res, err := e.Ask(ctx, queries[i])
+				items[i].Result, items[i].Err = res, err
+			}
+		}()
+	}
+	// Workers drain the channel even after cancellation (marking skipped
+	// queries with the context error), so dispatch never blocks.
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return items, err
+	}
+	return items, nil
+}

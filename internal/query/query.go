@@ -95,6 +95,12 @@ type Engine struct {
 	// NoHierarchy disables subsumption reasoning (hierarchy closure and
 	// subtype facts), leaving only exact matches — ablation A1.
 	NoHierarchy bool
+	// Workers bounds AskBatch's verification pool; 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces sequential verification.
+	Workers int
+	// Cache, when non-nil, memoizes solver results by compiled script +
+	// limits so repeated or overlapping queries skip the solver entirely.
+	Cache *smt.ResultCache
 
 	index *embed.Index
 }
@@ -176,7 +182,7 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 	}
 	res.Script = script.String()
 
-	smtRes, err := smt.SolveScript(res.Script, e.Limits)
+	smtRes, err := smt.SolveScriptCached(e.Cache, res.Script, e.Limits)
 	if err != nil {
 		return nil, fmt.Errorf("query: solve: %w", err)
 	}
@@ -207,7 +213,7 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 }
 
 // policyAloneUnsat checks whether the subgraph's axioms are contradictory
-// without the query goal.
+// without the query goal. The check is memoized alongside the main solve.
 func (e *Engine) policyAloneUnsat(edges []*graph.Edge) bool {
 	axioms, _ := e.buildFormula(edges, "", "", "", "")
 	// Drop the goal conjunct: rebuild policy-only by removing the final
@@ -215,23 +221,31 @@ func (e *Engine) policyAloneUnsat(edges []*graph.Edge) bool {
 	if axioms.Op == fol.OpAnd && len(axioms.Sub) == 2 {
 		axioms = axioms.Sub[0]
 	}
-	solver := smt.NewSolver()
-	solver.Limits = e.Limits
-	solver.Assert(axioms)
-	return solver.CheckSat().Status == smt.Unsat
+	res, _ := e.Cache.Memo(smt.CacheKey("policy-alone\x00"+axioms.String(), e.Limits), func() (smt.Result, error) {
+		solver := smt.NewSolver()
+		solver.Limits = e.Limits
+		solver.Assert(axioms)
+		return solver.CheckSat(), nil
+	})
+	return res.Status == smt.Unsat
 }
 
 // solveAssumingConditions re-solves with every placeholder condition
-// asserted true (SMT-LIB check-sat-assuming).
+// asserted true (SMT-LIB check-sat-assuming), memoized alongside the main
+// solve.
 func (e *Engine) solveAssumingConditions(formula *fol.Formula, placeholders []string) smt.Status {
-	solver := smt.NewSolver()
-	solver.Limits = e.Limits
-	solver.Assert(formula)
-	assumptions := make([]*fol.Formula, len(placeholders))
-	for i, p := range placeholders {
-		assumptions[i] = fol.UninterpretedPred(p)
-	}
-	return solver.CheckSatAssuming(assumptions...).Status
+	key := "assuming\x00" + formula.String() + "\x00" + strings.Join(placeholders, "\x1f")
+	res, _ := e.Cache.Memo(smt.CacheKey(key, e.Limits), func() (smt.Result, error) {
+		solver := smt.NewSolver()
+		solver.Limits = e.Limits
+		solver.Assert(formula)
+		assumptions := make([]*fol.Formula, len(placeholders))
+		for i, p := range placeholders {
+			assumptions[i] = fol.UninterpretedPred(p)
+		}
+		return solver.CheckSatAssuming(assumptions...), nil
+	})
+	return res.Status
 }
 
 // parseQuery extracts semantic roles from the query text, reusing the

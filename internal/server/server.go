@@ -50,6 +50,9 @@ type policyEntry struct {
 	Updated  time.Time `json:"updated"`
 	Versions int       `json:"versions"`
 
+	// analysis is swapped atomically under Server.mu on update; handlers
+	// must snapshot it (entry metadata included) under RLock and work on
+	// the snapshot — analyses themselves are immutable once published.
 	analysis *core.Analysis
 }
 
@@ -94,6 +97,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/policies/{id}/edges", s.handleEdges)
 	mux.HandleFunc("GET /v1/policies/{id}/vague", s.handleVague)
 	mux.HandleFunc("POST /v1/policies/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/policies/{id}/verify-batch", s.handleVerifyBatch)
 	mux.HandleFunc("POST /v1/policies/{id}/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/policies/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/policies/{id}/dot", s.handleDOT)
@@ -194,7 +198,8 @@ type policyResponse struct {
 	Practices int       `json:"practices"`
 }
 
-func (s *Server) policyJSON(e *policyEntry) policyResponse {
+// policyJSON renders a snapshot; e is a value copy so no lock is needed.
+func policyJSON(e policyEntry) policyResponse {
 	st := e.analysis.Stats()
 	return policyResponse{
 		ID: e.ID, Name: e.Name, Company: e.Company,
@@ -231,31 +236,44 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 		Created: now, Updated: now, Versions: 1, analysis: a,
 	}
 	s.policies[id] = entry
+	snap := *entry
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, s.policyJSON(entry))
+	writeJSON(w, http.StatusCreated, policyJSON(snap))
 }
 
 func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	out := make([]policyResponse, 0, len(s.policies))
+	snaps := make([]policyEntry, 0, len(s.policies))
 	for _, e := range s.policies {
-		out = append(out, s.policyJSON(e))
+		snaps = append(snaps, *e)
 	}
 	s.mu.RUnlock()
+	out := make([]policyResponse, 0, len(snaps))
+	for _, e := range snaps {
+		out = append(out, policyJSON(e))
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*policyEntry, bool) {
+// lookup returns a consistent snapshot (value copy) of the entry taken
+// under the read lock. Handlers work on the snapshot only: a concurrent
+// update swaps the stored analysis pointer, but never mutates a published
+// analysis, so snapshot reads are race-free without holding the lock.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (policyEntry, bool) {
 	id := r.PathValue("id")
 	s.mu.RLock()
 	e, ok := s.policies[id]
+	var snap policyEntry
+	if ok {
+		snap = *e
+	}
 	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "policy %q not found", id)
-		return nil, false
+		return policyEntry{}, false
 	}
-	return e, true
+	return snap, true
 }
 
 func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
@@ -263,7 +281,7 @@ func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.policyJSON(e))
+	writeJSON(w, http.StatusOK, policyJSON(e))
 }
 
 // updatePolicyRequest is the PUT /v1/policies/{id} body.
@@ -295,19 +313,36 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "text is required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Re-analysis runs outside the lock: Update never mutates the previous
+	// analysis, so concurrent readers keep querying the old version while
+	// the new one is built. The lock is held only for the pointer swap.
 	a, diff, st, err := s.pipeline.Update(r.Context(), e.analysis, req.Text)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
 		return
 	}
-	e.analysis = a
-	e.Company = a.Extraction.Company
-	e.Updated = time.Now()
-	e.Versions++
+	s.mu.Lock()
+	live, ok := s.policies[e.ID]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "policy %q not found", e.ID)
+		return
+	}
+	if live.analysis != e.analysis {
+		// Another update landed first; this one was computed against a
+		// stale version, so reject it rather than silently dropping edits.
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "policy %q was updated concurrently; retry", e.ID)
+		return
+	}
+	live.analysis = a
+	live.Company = a.Extraction.Company
+	live.Updated = time.Now()
+	live.Versions++
+	snap := *live
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, updatePolicyResponse{
-		Policy:          s.policyJSON(e),
+		Policy:          policyJSON(snap),
 		SegmentsKept:    len(diff.Kept),
 		SegmentsAdded:   len(diff.Added),
 		SegmentsRemoved: len(diff.Removed),
@@ -421,6 +456,79 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.IncludeScript {
 		resp.Script = res.Script
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// verifyBatchRequest is the POST /v1/policies/{id}/verify-batch body.
+type verifyBatchRequest struct {
+	Questions []string `json:"questions"`
+}
+
+// batchItemResponse is one query's outcome within a batch; exactly one of
+// Error or the result fields is populated.
+type batchItemResponse struct {
+	Question      string        `json:"question"`
+	Verdict       query.Verdict `json:"verdict,omitempty"`
+	ConditionalOn []string      `json:"conditional_on,omitempty"`
+	Placeholders  []string      `json:"placeholders,omitempty"`
+	MatchedEdges  []string      `json:"matched_edges,omitempty"`
+	Error         string        `json:"error,omitempty"`
+}
+
+// verifyBatchResponse reports the whole batch plus the pipeline's shared
+// SMT result cache counters after the run.
+type verifyBatchResponse struct {
+	Results  []batchItemResponse `json:"results"`
+	SMTCache smt.CacheStats      `json:"smt_cache"`
+}
+
+// MaxBatchQuestions caps one verify-batch request.
+const MaxBatchQuestions = 64
+
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req verifyBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Questions) == 0 {
+		writeError(w, http.StatusBadRequest, "questions is required")
+		return
+	}
+	if len(req.Questions) > MaxBatchQuestions {
+		writeError(w, http.StatusBadRequest, "too many questions: %d (max %d)", len(req.Questions), MaxBatchQuestions)
+		return
+	}
+	for i, q := range req.Questions {
+		if q == "" {
+			writeError(w, http.StatusBadRequest, "questions[%d] is empty", i)
+			return
+		}
+	}
+	items, err := e.analysis.Engine.AskBatch(r.Context(), req.Questions)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "batch verification failed: %v", err)
+		return
+	}
+	resp := verifyBatchResponse{
+		Results:  make([]batchItemResponse, len(items)),
+		SMTCache: s.pipeline.SMTCacheStats(),
+	}
+	for i, it := range items {
+		out := batchItemResponse{Question: it.Query}
+		if it.Err != nil {
+			out.Error = it.Err.Error()
+		} else {
+			out.Verdict = it.Result.Verdict
+			out.ConditionalOn = it.Result.ConditionalOn
+			out.Placeholders = it.Result.Placeholders
+			out.MatchedEdges = it.Result.MatchedEdges
+		}
+		resp.Results[i] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

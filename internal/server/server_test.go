@@ -274,6 +274,149 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+func TestVerifyBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	var out map[string]any
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/verify-batch",
+		map[string]any{"questions": []string{
+			"Does Acme share my email address with advertising partners?",
+			"Does Acme sell my personal information?",
+			"Does Acme share my email address with advertising partners?",
+		}}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify-batch = %d %v", resp.StatusCode, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d entries", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["verdict"] != "VALID" {
+		t.Errorf("verdict[0] = %v", first["verdict"])
+	}
+	if first["question"] != "Does Acme share my email address with advertising partners?" {
+		t.Errorf("question[0] = %v", first["question"])
+	}
+	if results[1].(map[string]any)["verdict"] != "INVALID" {
+		t.Errorf("verdict[1] = %v", results[1].(map[string]any)["verdict"])
+	}
+	// The repeated query must agree with its first occurrence and the
+	// shared SMT cache must report hits for it.
+	if results[2].(map[string]any)["verdict"] != first["verdict"] {
+		t.Errorf("repeated query diverged: %v", results[2])
+	}
+	cache := out["smt_cache"].(map[string]any)
+	if cache["hits"].(float64) == 0 {
+		t.Errorf("repeated query should hit the SMT cache: %v", cache)
+	}
+
+	// Error paths.
+	for _, body := range []map[string]any{
+		{"questions": []string{}},
+		{"questions": []string{"ok", ""}},
+	} {
+		resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/verify-batch", body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad batch %v = %d", body, resp.StatusCode)
+		}
+	}
+	big := make([]string, MaxBatchQuestions+1)
+	for i := range big {
+		big[i] = "q"
+	}
+	resp = doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/verify-batch",
+		map[string]any{"questions": big}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentMixedAccess exercises the snapshot discipline under -race:
+// reads, queries and batch verifications run concurrently with incremental
+// updates and new uploads. Updates racing updates may 409; everything else
+// must succeed.
+func TestConcurrentMixedAccess(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	edited := strings.Replace(corpus.Mini(),
+		"We collect device identifiers automatically.",
+		"We collect device identifiers and sleep patterns automatically.", 1)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	post := func(path string, body any, allowed ...int) {
+		defer wg.Done()
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			errs <- err
+			return
+		}
+		req, err := http.NewRequest("POST", ts.URL+path, &buf)
+		if err != nil {
+			errs <- err
+			return
+		}
+		if strings.HasPrefix(path, "/v1/policies/"+id) && body != nil {
+			if _, isUpdate := body.(map[string]string); isUpdate {
+				req.Method = "PUT"
+			}
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errs <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		for _, code := range allowed {
+			if resp.StatusCode == code {
+				return
+			}
+		}
+		errs <- fmt.Errorf("%s %s = %d", req.Method, path, resp.StatusCode)
+	}
+	get := func(path string) {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			errs <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	for i := 0; i < 6; i++ {
+		wg.Add(5)
+		go post("/v1/policies/"+id+"/query",
+			map[string]any{"question": "Does Acme collect my device identifiers?"}, http.StatusOK)
+		go post("/v1/policies/"+id+"/verify-batch",
+			map[string]any{"questions": []string{
+				"Does Acme share my email address with advertising partners?",
+				"Does Acme sell my personal information?",
+			}}, http.StatusOK)
+		// Concurrent updates may lose the swap race and 409; that is the
+		// documented contract, not a failure.
+		go post("/v1/policies/"+id,
+			map[string]string{"text": edited}, http.StatusOK, http.StatusConflict)
+		go post("/v1/policies",
+			map[string]any{"text": corpus.Mini()}, http.StatusCreated)
+		go get("/v1/policies/" + id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 func TestNewRequiresPipeline(t *testing.T) {
 	if _, err := New(Options{}); err == nil {
 		t.Error("nil pipeline accepted")

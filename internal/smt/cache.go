@@ -1,0 +1,131 @@
+package smt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// ResultCache memoizes SolveScript outcomes by a content hash of the
+// compiled SMT-LIB script plus the solver limits, so repeated or
+// overlapping queries skip the solver entirely. All methods are safe for
+// concurrent use; the solver itself stays deterministic, so a cached
+// Result is bit-identical to a recomputed one (modulo Stats.Elapsed,
+// which reports the original solve).
+type ResultCache struct {
+	mu      sync.Mutex
+	entries map[string]Result
+	// order tracks insertion for FIFO eviction once max is exceeded.
+	order []string
+	max   int
+	hits  uint64
+	miss  uint64
+}
+
+// DefaultCacheSize bounds a cache constructed with size <= 0.
+const DefaultCacheSize = 4096
+
+// NewResultCache returns a cache holding at most max results (FIFO
+// eviction); max <= 0 selects DefaultCacheSize.
+func NewResultCache(max int) *ResultCache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &ResultCache{entries: map[string]Result{}, max: max}
+}
+
+// CacheStats reports cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that had to run the solver.
+	Misses uint64 `json:"misses"`
+	// Entries is the current number of cached results.
+	Entries int `json:"entries"`
+}
+
+// Stats returns a snapshot of the counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.miss, Entries: len(c.entries)}
+}
+
+// CacheKey hashes problem source text together with every limit field: a
+// different budget can change the verdict (unknown vs decided), so limits
+// are part of the identity. The source need not be a full SMT-LIB script —
+// callers memoizing derived checks (e.g. axioms-only satisfiability) key
+// by any deterministic rendering of the problem.
+func CacheKey(src string, limits Limits) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(limits.MaxSatSteps)
+	writeInt(int64(limits.MaxInstantiations))
+	writeInt(int64(limits.MaxRounds))
+	writeInt(int64(limits.MaxTheoryLemmas))
+	writeInt(int64(limits.Timeout))
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// get returns the cached result for the key, counting hit or miss.
+func (c *ResultCache) get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return res, ok
+}
+
+// put stores a result, evicting the oldest entry when full.
+func (c *ResultCache) put(key string, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = res
+	c.order = append(c.order, key)
+}
+
+// Memo answers the keyed check from the cache, or runs compute and stores
+// its result. A nil cache degrades to a plain compute. Errors are never
+// cached: a malformed problem fails the same way every time and is cheap
+// to re-reject, while caching it would complicate the value type for no
+// win.
+func (c *ResultCache) Memo(key string, compute func() (Result, error)) (Result, error) {
+	if c == nil {
+		return compute()
+	}
+	if res, ok := c.get(key); ok {
+		return res, nil
+	}
+	res, err := compute()
+	if err != nil {
+		return res, err
+	}
+	c.put(key, res)
+	return res, nil
+}
+
+// SolveScriptCached is SolveScript with memoization keyed by script +
+// limits. A nil cache degrades to a plain solve.
+func SolveScriptCached(c *ResultCache, src string, limits Limits) (Result, error) {
+	return c.Memo(CacheKey(src, limits), func() (Result, error) {
+		return SolveScript(src, limits)
+	})
+}

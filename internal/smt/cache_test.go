@@ -1,0 +1,133 @@
+package smt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const satScript = `(declare-fun p () Bool)
+(assert p)
+(check-sat)`
+
+const unsatScript = `(declare-fun p () Bool)
+(assert p)
+(assert (not p))
+(check-sat)`
+
+func TestResultCacheHitsAndMisses(t *testing.T) {
+	c := NewResultCache(0)
+	first, err := SolveScriptCached(c, satScript, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != Sat {
+		t.Fatalf("status = %v, want sat", first.Status)
+	}
+	second, err := SolveScriptCached(c, satScript, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != first.Status {
+		t.Errorf("cached status %v != original %v", second.Status, first.Status)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestResultCacheKeyIncludesLimits(t *testing.T) {
+	c := NewResultCache(0)
+	if _, err := SolveScriptCached(c, satScript, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	// A different budget is a different problem: it must miss.
+	if _, err := SolveScriptCached(c, satScript, Limits{MaxInstantiations: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 0 hits, 2 misses, 2 entries", st)
+	}
+}
+
+func TestResultCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewResultCache(0)
+	bad := "(assert" // unparseable
+	for i := 0; i < 2; i++ {
+		if _, err := SolveScriptCached(c, bad, Limits{}); err == nil {
+			t.Fatal("expected parse error")
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Errorf("errors must not be cached: %+v", st)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	c := NewResultCache(2)
+	scripts := make([]string, 3)
+	for i := range scripts {
+		scripts[i] = fmt.Sprintf("(declare-fun p%d () Bool)\n(assert p%d)\n(check-sat)", i, i)
+		if _, err := SolveScriptCached(c, scripts[i], Limits{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 after FIFO eviction", st.Entries)
+	}
+	// The oldest script was evicted; re-solving it must miss.
+	if _, err := SolveScriptCached(c, scripts[0], Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		t.Errorf("evicted entry must not hit: %+v", st)
+	}
+}
+
+func TestResultCacheNilDegradesToPlainSolve(t *testing.T) {
+	res, err := SolveScriptCached(nil, unsatScript, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unsat {
+		t.Errorf("status = %v, want unsat", res.Status)
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := NewResultCache(0)
+	scripts := []string{satScript, unsatScript}
+	want := []Status{Sat, Unsat}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				idx := (g + i) % len(scripts)
+				res, err := SolveScriptCached(c, scripts[idx], Limits{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Status != want[idx] {
+					t.Errorf("script %d: status %v, want %v", idx, res.Status, want[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 16*20 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 16*20)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if st.Hits == 0 {
+		t.Error("repeated concurrent solves should hit the cache")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/privacy-quagmire/quagmire/internal/embed"
 	"github.com/privacy-quagmire/quagmire/internal/graph"
@@ -18,7 +19,10 @@ import (
 	"github.com/privacy-quagmire/quagmire/internal/nlp"
 )
 
-// Builder constructs hierarchies via CoL prompting.
+// Builder constructs hierarchies via CoL prompting. Builds may run
+// concurrently on a shared Builder: each call accumulates its counters
+// privately and publishes them to Stats under an internal mutex when it
+// finishes.
 type Builder struct {
 	// Client is the language model used for root and layer prompts.
 	Client llm.Client
@@ -30,8 +34,10 @@ type Builder struct {
 	// MaxLayers bounds CoL iterations; default 6.
 	MaxLayers int
 
-	// Stats from the last Build call.
+	// Stats from the last Build call to finish.
 	Stats Stats
+
+	statsMu sync.Mutex
 }
 
 // Stats reports effort and filtering counters for one Build.
@@ -54,7 +60,12 @@ func (b *Builder) Build(ctx context.Context, kind string, terms []string) (*grap
 	if b.Client == nil {
 		return nil, fmt.Errorf("taxonomy: Builder.Client is nil")
 	}
-	b.Stats = Stats{}
+	var st Stats
+	defer func() {
+		b.statsMu.Lock()
+		b.Stats = st
+		b.statsMu.Unlock()
+	}()
 	maxLayers := b.MaxLayers
 	if maxLayers <= 0 {
 		maxLayers = 6
@@ -72,7 +83,7 @@ func (b *Builder) Build(ctx context.Context, kind string, terms []string) (*grap
 	}
 	sort.Strings(remaining)
 
-	root, err := b.root(ctx, kind, remaining)
+	root, err := b.root(ctx, &st, kind, remaining)
 	if err != nil {
 		return nil, err
 	}
@@ -81,8 +92,8 @@ func (b *Builder) Build(ctx context.Context, kind string, terms []string) (*grap
 
 	frontier := []string{root}
 	for layer := 0; layer < maxLayers && len(remaining) > 0 && len(frontier) > 0; layer++ {
-		b.Stats.Layers++
-		children, err := b.layer(ctx, kind, frontier, remaining)
+		st.Layers++
+		children, err := b.layer(ctx, &st, kind, frontier, remaining)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +110,7 @@ func (b *Builder) Build(ctx context.Context, kind string, terms []string) (*grap
 					continue
 				}
 				if b.rejectedByFilter(parent, child) {
-					b.Stats.Filtered++
+					st.Filtered++
 					continue
 				}
 				if err := h.Add(parent, child); err != nil {
@@ -124,7 +135,7 @@ func (b *Builder) Build(ctx context.Context, kind string, terms []string) (*grap
 			if err := h.Add(root, t); err != nil {
 				return nil, err
 			}
-			b.Stats.Fallback++
+			st.Fallback++
 		}
 	}
 	if err := h.Validate(); err != nil {
@@ -146,8 +157,8 @@ func (b *Builder) rejectedByFilter(parent, child string) bool {
 	return b.Filter.Similarity(parent, child) < b.FilterThreshold
 }
 
-func (b *Builder) root(ctx context.Context, kind string, terms []string) (string, error) {
-	b.Stats.LLMCalls++
+func (b *Builder) root(ctx context.Context, st *Stats, kind string, terms []string) (string, error) {
+	st.LLMCalls++
 	resp, err := b.Client.Complete(ctx, llm.TaxonomyRootPrompt(kind, terms))
 	if err != nil {
 		return "", fmt.Errorf("taxonomy: root prompt: %w", err)
@@ -161,8 +172,8 @@ func (b *Builder) root(ctx context.Context, kind string, terms []string) (string
 	return nlp.CanonicalTerm(out.Root), nil
 }
 
-func (b *Builder) layer(ctx context.Context, kind string, frontier, remaining []string) (map[string][]string, error) {
-	b.Stats.LLMCalls++
+func (b *Builder) layer(ctx context.Context, st *Stats, kind string, frontier, remaining []string) (map[string][]string, error) {
+	st.LLMCalls++
 	resp, err := b.Client.Complete(ctx, llm.TaxonomyLayerPrompt(kind, frontier, remaining))
 	if err != nil {
 		return nil, fmt.Errorf("taxonomy: layer prompt: %w", err)

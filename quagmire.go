@@ -60,6 +60,12 @@ type UpdateStats = kg.UpdateStats
 // SolverLimits bounds the SMT solver deterministically.
 type SolverLimits = smt.Limits
 
+// BatchResult is the outcome of one query in a batch verification.
+type BatchResult = query.BatchItem
+
+// SMTCacheStats reports the shared SMT result cache's hit/miss counters.
+type SMTCacheStats = smt.CacheStats
+
 // Config configures an Analyzer. The zero value selects the deterministic
 // simulated LLM with caching, the default embedding model, and default
 // solver limits.
@@ -75,6 +81,10 @@ type Config struct {
 	// CacheDir, when non-empty, persists intermediates as JSON under this
 	// directory.
 	CacheDir string
+	// Workers bounds Phase 1 segment-extraction fan-out and Phase 3 batch
+	// verification; 0 selects runtime.GOMAXPROCS(0), 1 forces sequential
+	// processing.
+	Workers int
 }
 
 // Analyzer runs the three-phase pipeline.
@@ -89,12 +99,18 @@ func New(cfg Config) (*Analyzer, error) {
 		TaxonomyFilterThreshold: cfg.TaxonomyFilterThreshold,
 		Limits:                  cfg.SolverLimits,
 		CacheDir:                cfg.CacheDir,
+		Workers:                 cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Analyzer{p: p}, nil
 }
+
+// SMTCacheStats reports the analyzer's shared SMT result cache counters —
+// hits are queries whose (sub)problems were answered without running the
+// solver.
+func (a *Analyzer) SMTCacheStats() SMTCacheStats { return a.p.SMTCacheStats() }
 
 // SimulatedModel returns the deterministic built-in language model,
 // wrapped with response caching. Use it as Config.Model when composing
@@ -150,6 +166,14 @@ func (an *Analysis) Edges() []string {
 // Ask verifies a natural-language compliance query against the policy.
 func (an *Analysis) Ask(ctx context.Context, question string) (*QueryResult, error) {
 	return an.inner.Engine.Ask(ctx, question)
+}
+
+// AskBatch verifies many compliance queries concurrently over the
+// analyzer's worker pool, sharing the SMT result cache so overlapping
+// queries solve once. Results are returned in input order; per-query
+// failures ride on the corresponding item.
+func (an *Analysis) AskBatch(ctx context.Context, questions []string) ([]BatchResult, error) {
+	return an.inner.Engine.AskBatch(ctx, questions)
 }
 
 // Practices returns the number of extracted data practices.
