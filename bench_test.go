@@ -437,3 +437,47 @@ func BenchmarkServerQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStageBreakdown runs the full pipeline — analyze plus a
+// concurrent verification batch — and reports per-stage means from the
+// analyzer's metrics Snapshot, the programmatic face of the observability
+// layer (the same data /metrics and -stats expose).
+func BenchmarkStageBreakdown(b *testing.B) {
+	ctx := context.Background()
+	an, err := New(Config{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := an.Analyze(ctx, corpus.Mini())
+		if err != nil {
+			b.Fatal(err)
+		}
+		items, err := a.AskBatch(ctx, batchQueries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, it := range items {
+			if it.Err != nil {
+				b.Fatal(it.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	snap := an.Metrics()
+	report := func(metric, unit string) {
+		h, ok := snap.Histograms[metric]
+		if !ok || h.Count == 0 {
+			b.Fatalf("missing stage metric %s in snapshot", metric)
+		}
+		b.ReportMetric(h.Sum/float64(h.Count)*1e9, unit)
+	}
+	report(`quagmire_pipeline_phase_seconds{phase="extract"}`, "ns/extract")
+	report(`quagmire_pipeline_phase_seconds{phase="graph"}`, "ns/graph")
+	report(`quagmire_query_phase_seconds{phase="translate"}`, "ns/translate")
+	report(`quagmire_query_phase_seconds{phase="solve"}`, "ns/solve")
+	if n := snap.Counters["quagmire_smt_cache_misses_total"]; n == 0 {
+		b.Fatal("stage breakdown ran no solver work")
+	}
+}

@@ -52,6 +52,7 @@ func run(args []string) error {
 	cacheDir := fs.String("cache", "", "directory for persisted intermediates")
 	maxInst := fs.Int("max-instantiations", 0, "SMT quantifier-instantiation budget (0 = default)")
 	workers := fs.Int("workers", 0, "extraction and batch-verification parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	stats := fs.Bool("stats", false, "print the per-phase metrics breakdown to stderr after the command")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +69,7 @@ func run(args []string) error {
 
 	switch rest[0] {
 	case "analyze":
-		a, err := analyzeFile(ctx, cfg, rest[1:])
+		an, a, err := analyzeFileWith(ctx, cfg, rest[1:])
 		if err != nil {
 			return err
 		}
@@ -76,26 +77,29 @@ func run(args []string) error {
 		fmt.Printf("company:     %s\n", a.Company())
 		fmt.Printf("total nodes: %d\ntotal edges: %d\nentities:    %d\ndata types:  %d\npractices:   %d\n",
 			st.Nodes, st.Edges, st.Entities, st.DataTypes, a.Practices())
+		printStats(*stats, an)
 		return nil
 
 	case "edges":
-		a, err := analyzeFile(ctx, cfg, rest[1:])
+		an, a, err := analyzeFileWith(ctx, cfg, rest[1:])
 		if err != nil {
 			return err
 		}
 		for _, e := range a.Edges() {
 			fmt.Println(e)
 		}
+		printStats(*stats, an)
 		return nil
 
 	case "vague":
-		a, err := analyzeFile(ctx, cfg, rest[1:])
+		an, a, err := analyzeFileWith(ctx, cfg, rest[1:])
 		if err != nil {
 			return err
 		}
 		for _, v := range a.VagueConditions() {
 			fmt.Println(v)
 		}
+		printStats(*stats, an)
 		return nil
 
 	case "ask":
@@ -122,6 +126,7 @@ func run(args []string) error {
 			for _, e := range res.MatchedEdges {
 				fmt.Printf("evidence: %s\n", e)
 			}
+			printStats(*stats, an)
 			return nil
 		}
 		// Multi-query mode: verify the batch concurrently.
@@ -139,7 +144,8 @@ func run(args []string) error {
 			fmt.Printf("%-8s %s\n", it.Result.Verdict, it.Query)
 		}
 		cs := an.SMTCacheStats()
-		fmt.Printf("smt cache: %d hits / %d misses\n", cs.Hits, cs.Misses)
+		fmt.Printf("smt cache: %d hits / %d misses (%d stampedes suppressed)\n", cs.Hits, cs.Misses, cs.Suppressed)
+		printStats(*stats, an)
 		if failed > 0 {
 			return fmt.Errorf("%d quer(ies) failed", failed)
 		}
@@ -393,6 +399,14 @@ func run(args []string) error {
 
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+// printStats renders the per-phase metrics table to stderr when -stats is
+// set; stderr keeps the table out of piped stdout consumers.
+func printStats(enabled bool, an *quagmire.Analyzer) {
+	if enabled && an != nil {
+		fmt.Fprint(os.Stderr, an.Metrics().Table())
 	}
 }
 

@@ -7,12 +7,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/cache"
 	"github.com/privacy-quagmire/quagmire/internal/embed"
 	"github.com/privacy-quagmire/quagmire/internal/extract"
 	"github.com/privacy-quagmire/quagmire/internal/kg"
 	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/obs"
 	"github.com/privacy-quagmire/quagmire/internal/query"
 	"github.com/privacy-quagmire/quagmire/internal/segment"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
@@ -39,6 +41,10 @@ type Options struct {
 	// SMTCacheSize bounds the shared SMT result cache (entries); 0 selects
 	// the default, negative disables caching.
 	SMTCacheSize int
+	// Obs is the metrics registry threaded through every phase; nil
+	// creates a fresh registry (observability is always on — a registry
+	// nobody scrapes costs a few atomic adds).
+	Obs *obs.Registry
 }
 
 // Pipeline runs Algorithm 1.
@@ -51,6 +57,7 @@ type Pipeline struct {
 	store     *cache.Store
 	workers   int
 	smtCache  *smt.ResultCache
+	obs       *obs.Registry
 }
 
 // New constructs a pipeline from options.
@@ -63,13 +70,18 @@ func New(opts Options) (*Pipeline, error) {
 	if model == nil {
 		model = embed.NewModel("text-embedding-sim")
 	}
-	tb := &taxonomy.Builder{Client: client}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tb := &taxonomy.Builder{Client: client, Obs: reg}
 	if opts.TaxonomyFilterThreshold > 0 {
 		tb.Filter = embed.NewModel("scibert-sim")
 		tb.FilterThreshold = opts.TaxonomyFilterThreshold
 	}
 	extractor := extract.New(client)
 	extractor.Workers = opts.Workers
+	extractor.Obs = reg
 	p := &Pipeline{
 		client:    client,
 		model:     model,
@@ -77,9 +89,21 @@ func New(opts Options) (*Pipeline, error) {
 		kgBuilder: kg.NewBuilder(tb),
 		limits:    opts.Limits,
 		workers:   opts.Workers,
+		obs:       reg,
 	}
 	if opts.SMTCacheSize >= 0 {
 		p.smtCache = smt.NewResultCache(opts.SMTCacheSize)
+		// The cache keeps its own counters; collect them pull-style so
+		// scrape results are always current without double bookkeeping.
+		stat := func(pick func(smt.CacheStats) float64) func() float64 {
+			cache := p.smtCache
+			return func() float64 { return pick(cache.Stats()) }
+		}
+		reg.CounterFunc("quagmire_smt_cache_hits_total", stat(func(s smt.CacheStats) float64 { return float64(s.Hits) }))
+		reg.CounterFunc("quagmire_smt_cache_misses_total", stat(func(s smt.CacheStats) float64 { return float64(s.Misses) }))
+		reg.CounterFunc("quagmire_smt_cache_suppressed_total", stat(func(s smt.CacheStats) float64 { return float64(s.Suppressed) }))
+		reg.CounterFunc("quagmire_smt_cache_evictions_total", stat(func(s smt.CacheStats) float64 { return float64(s.Evictions) }))
+		reg.GaugeFunc("quagmire_smt_cache_entries", stat(func(s smt.CacheStats) float64 { return float64(s.Entries) }))
 	}
 	if opts.CacheDir != "" {
 		store, err := cache.Open(opts.CacheDir)
@@ -90,6 +114,13 @@ func New(opts Options) (*Pipeline, error) {
 	}
 	return p, nil
 }
+
+// Obs returns the pipeline's metrics registry (never nil).
+func (p *Pipeline) Obs() *obs.Registry { return p.obs }
+
+// Metrics snapshots every pipeline metric for programmatic consumers
+// (benchmarks, the CLI's -stats table).
+func (p *Pipeline) Metrics() obs.Snapshot { return p.obs.Snapshot() }
 
 // SMTCacheStats reports the shared SMT result cache's hit/miss counters;
 // zero-valued when caching is disabled.
@@ -107,6 +138,7 @@ func (p *Pipeline) newEngine(k *kg.KnowledgeGraph) *query.Engine {
 	e.Limits = p.limits
 	e.Workers = p.workers
 	e.Cache = p.smtCache
+	e.Obs = p.obs
 	return e
 }
 
@@ -127,14 +159,18 @@ func (a *Analysis) Stats() kg.Stats { return a.KG.Stats() }
 // Analyze runs Phases 1 and 2 over a policy text and prepares the query
 // engine.
 func (p *Pipeline) Analyze(ctx context.Context, policy string) (*Analysis, error) {
+	phase1 := time.Now()
 	ex, err := p.extractor.ExtractPolicy(ctx, policy)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
+	p.obs.Histogram("quagmire_pipeline_phase_seconds", obs.TimeBuckets, "phase", "extract").ObserveSince(phase1)
+	phase2 := time.Now()
 	k, err := p.kgBuilder.Build(ctx, ex)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
+	p.obs.Histogram("quagmire_pipeline_phase_seconds", obs.TimeBuckets, "phase", "graph").ObserveSince(phase2)
 	a := &Analysis{Extraction: ex, KG: k}
 	a.Engine = p.newEngine(k)
 	if p.store != nil {
@@ -151,15 +187,19 @@ func (p *Pipeline) Analyze(ctx context.Context, policy string) (*Analysis, error
 // update works on a copy of its graph — so readers (e.g. concurrent server
 // requests) can keep querying prev while the new version is built.
 func (p *Pipeline) Update(ctx context.Context, prev *Analysis, newPolicy string) (*Analysis, segment.Diff, kg.UpdateStats, error) {
+	phase1 := time.Now()
 	ex, diff, err := p.extractor.ReExtract(ctx, prev.Extraction, newPolicy)
 	if err != nil {
 		return nil, diff, kg.UpdateStats{}, fmt.Errorf("core: incremental phase 1: %w", err)
 	}
+	p.obs.Histogram("quagmire_pipeline_phase_seconds", obs.TimeBuckets, "phase", "extract").ObserveSince(phase1)
+	phase2 := time.Now()
 	k := prev.KG.Clone()
 	st, err := p.kgBuilder.Update(ctx, k, diff, ex)
 	if err != nil {
 		return nil, diff, st, fmt.Errorf("core: incremental phase 2: %w", err)
 	}
+	p.obs.Histogram("quagmire_pipeline_phase_seconds", obs.TimeBuckets, "phase", "graph").ObserveSince(phase2)
 	a := &Analysis{Extraction: ex, KG: k}
 	a.Engine = p.newEngine(k)
 	if p.store != nil {

@@ -13,9 +13,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/corpus"
 	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/obs"
 	"github.com/privacy-quagmire/quagmire/internal/segment"
 )
 
@@ -81,6 +83,11 @@ type Extractor struct {
 	// internal mutex so extractions may run concurrently; read it directly
 	// only when no call is in flight, or use StatsSnapshot.
 	Stats Stats
+	// Obs, when non-nil, receives extraction metrics (segment throughput,
+	// LLM-call latency, coreference passes, per-policy wall time). A nil
+	// registry hands out nil handles whose methods no-op, so every hook
+	// below is safe unconditionally.
+	Obs *obs.Registry
 
 	statsMu sync.Mutex
 }
@@ -93,6 +100,10 @@ func (e *Extractor) addStats(d Stats) {
 	e.Stats.LLMCalls += d.LLMCalls
 	e.Stats.Errors += d.Errors
 	e.statsMu.Unlock()
+	e.Obs.Counter("quagmire_extract_segments_total").Add(uint64(d.Segments))
+	e.Obs.Counter("quagmire_extract_practices_total").Add(uint64(d.Practices))
+	e.Obs.Counter("quagmire_extract_llm_calls_total").Add(uint64(d.LLMCalls))
+	e.Obs.Counter("quagmire_extract_errors_total").Add(uint64(d.Errors))
 }
 
 // StatsSnapshot returns a race-free copy of the accumulated counters.
@@ -175,6 +186,7 @@ func (e *Extractor) ExtractSegment(ctx context.Context, company string, seg segm
 // (unless FailFast is set); the joined failures are reported on
 // Extraction.SegmentErrors either way.
 func (e *Extractor) ExtractPolicy(ctx context.Context, policy string) (*Extraction, error) {
+	defer e.Obs.Histogram("quagmire_extract_policy_seconds", obs.TimeBuckets).ObserveSince(time.Now())
 	company, err := e.CompanyName(ctx, policy)
 	if err != nil {
 		return nil, err
@@ -275,7 +287,10 @@ func (e *Extractor) extractAll(ctx context.Context, company string, segs []segme
 // use.
 func (e *Extractor) extractOne(ctx context.Context, company string, seg segment.Segment) ([]Practice, error) {
 	resolved := ResolveCoreferences(seg.Text, company)
+	e.Obs.ShardedCounter("quagmire_extract_coref_passes_total").Inc()
+	llmStart := time.Now()
 	resp, err := e.Client.Complete(ctx, llm.ExtractParamsPrompt(company, resolved))
+	e.Obs.Histogram("quagmire_llm_call_seconds", obs.TimeBuckets, "phase", "extract").ObserveSince(llmStart)
 	if err != nil {
 		return nil, fmt.Errorf("extract: segment %s: %w", shortID(seg.ID), err)
 	}
@@ -301,6 +316,7 @@ func (e *Extractor) extractOne(ctx context.Context, company string, seg segment.
 // incremental processing) — fanned out over the same worker pool as
 // ExtractPolicy. It returns the new extraction and the diff.
 func (e *Extractor) ReExtract(ctx context.Context, prev *Extraction, newPolicy string) (*Extraction, segment.Diff, error) {
+	defer e.Obs.Histogram("quagmire_extract_policy_seconds", obs.TimeBuckets).ObserveSince(time.Now())
 	company, err := e.CompanyName(ctx, newPolicy)
 	if err != nil {
 		return nil, segment.Diff{}, err

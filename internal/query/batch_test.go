@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
+	"github.com/privacy-quagmire/quagmire/internal/llm"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
 )
 
@@ -121,5 +124,56 @@ func TestAskBatchReportsPerQueryErrors(t *testing.T) {
 		if it.Err != nil {
 			t.Errorf("query %q: unexpected error %v", it.Query, it.Err)
 		}
+	}
+}
+
+// blockingClient parks every Complete call on its context and closes
+// started on the first call, so a test can cancel a batch that is
+// provably mid-LLM-call rather than racing the cancel against startup.
+type blockingClient struct {
+	started chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return llm.Response{}, ctx.Err()
+}
+
+// TestAskBatchCancelMidFlight is the regression test for cancellation not
+// reaching in-flight work: cancelling while workers are blocked inside
+// queries must return promptly with ctx.Err(), not wait the batch out.
+func TestAskBatchCancelMidFlight(t *testing.T) {
+	eng := newEngine(t)
+	eng.Workers = 2
+	bc := &blockingClient{started: make(chan struct{})}
+	eng.Client = bc
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type batchOut struct {
+		items []BatchItem
+		err   error
+	}
+	done := make(chan batchOut, 1)
+	go func() {
+		items, err := eng.AskBatch(ctx, batchQueries)
+		done <- batchOut{items, err}
+	}()
+
+	<-bc.started
+	cancel()
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("batch error = %v, want context.Canceled", out.err)
+		}
+		for i, it := range out.items {
+			if it.Err == nil {
+				t.Errorf("item %d: expected a cancellation error", i)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled batch did not return while queries were in flight")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/embed"
 	"github.com/privacy-quagmire/quagmire/internal/fol"
@@ -21,6 +22,7 @@ import (
 	"github.com/privacy-quagmire/quagmire/internal/kg"
 	"github.com/privacy-quagmire/quagmire/internal/llm"
 	"github.com/privacy-quagmire/quagmire/internal/nlp"
+	"github.com/privacy-quagmire/quagmire/internal/obs"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
 	"github.com/privacy-quagmire/quagmire/internal/smtlib"
 )
@@ -101,8 +103,31 @@ type Engine struct {
 	// Cache, when non-nil, memoizes solver results by compiled script +
 	// limits so repeated or overlapping queries skip the solver entirely.
 	Cache *smt.ResultCache
+	// Obs, when non-nil, receives verification metrics: per-phase latency
+	// (translate/subgraph/compile/solve), per-verdict counts, fresh solver
+	// time and instantiation counts. Safe to share across engines.
+	Obs *obs.Registry
 
 	index *embed.Index
+}
+
+// phaseTimer observes one Phase 3 stage's latency on the engine's
+// registry; the returned func is the stop edge.
+func (e *Engine) phaseTimer(phase string) func() {
+	h := e.Obs.Histogram("quagmire_query_phase_seconds", obs.TimeBuckets, "phase", phase)
+	start := time.Now()
+	return func() { h.ObserveSince(start) }
+}
+
+// observeSolve records solver-side metrics for one smt result. Cached
+// results are excluded from the solve-time histogram — their Elapsed is
+// lookup time, which would drag the distribution toward zero and hide
+// real solver latency.
+func (e *Engine) observeSolve(res smt.Result) {
+	if !res.Stats.FromCache {
+		e.Obs.Histogram("quagmire_smt_solve_seconds", obs.TimeBuckets).ObserveDuration(res.Stats.Elapsed)
+		e.Obs.Counter("quagmire_smt_instantiations_total").Add(uint64(res.Stats.Instantiations))
+	}
 }
 
 // NewEngine builds an engine with pre-computed embeddings for all graph
@@ -141,6 +166,7 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 	res := &Result{Translations: map[string]string{}}
 
 	// Map flow roles onto the graph's actor/counterparty convention.
+	stopTranslate := e.phaseTimer("translate")
 	actorRole, otherRole := llm.FlowRoles(p)
 	actor, err := e.translate(ctx, actorRole, res.Translations)
 	if err != nil {
@@ -158,13 +184,17 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 		}
 	}
 	action := nlp.VerbBase(p.Action)
+	stopTranslate()
 
 	// Subgraph: matched nodes, hierarchy closure, local traversal.
+	stopSubgraph := e.phaseTimer("subgraph")
 	edges := e.relevantEdges(actor, action, data, other)
 	for _, ed := range edges {
 		res.MatchedEdges = append(res.MatchedEdges, ed.String())
 	}
+	stopSubgraph()
 
+	stopCompile := e.phaseTimer("compile")
 	formula, placeholders := e.buildFormula(edges, actor, action, data, other)
 	if e.SimplifyFOL {
 		formula = fol.Simplify(formula)
@@ -181,18 +211,22 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 		return nil, fmt.Errorf("query: compile: %w", err)
 	}
 	res.Script = script.String()
+	stopCompile()
 
-	smtRes, err := smt.SolveScriptCached(e.Cache, res.Script, e.Limits)
+	stopSolve := e.phaseTimer("solve")
+	defer stopSolve()
+	smtRes, err := smt.SolveScriptCachedCtx(ctx, e.Cache, res.Script, e.Limits)
 	if err != nil {
 		return nil, fmt.Errorf("query: solve: %w", err)
 	}
+	e.observeSolve(smtRes)
 	res.SMT = smtRes
 	switch smtRes.Status {
 	case smt.Unsat:
 		res.Verdict = Valid
 		// Distinguish "follows from the policy" from "the policy itself
 		// is contradictory" (ex falso): re-check the axioms alone.
-		if e.policyAloneUnsat(edges) {
+		if e.policyAloneUnsat(ctx, edges) {
 			res.Verdict = Unknown
 			res.Contradiction = true
 		}
@@ -201,7 +235,7 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 		// The query may hold conditionally: retry assuming every vague
 		// placeholder condition is true.
 		if len(placeholders) > 0 {
-			if v := e.solveAssumingConditions(formula, placeholders); v == smt.Unsat {
+			if v := e.solveAssumingConditions(ctx, formula, placeholders); v == smt.Unsat {
 				res.Verdict = Valid
 				res.ConditionalOn = placeholders
 			}
@@ -209,33 +243,40 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 	default:
 		res.Verdict = Unknown
 	}
+	e.Obs.Counter("quagmire_query_verdicts_total", "verdict", string(res.Verdict)).Inc()
 	return res, nil
 }
 
 // policyAloneUnsat checks whether the subgraph's axioms are contradictory
-// without the query goal. The check is memoized alongside the main solve.
-func (e *Engine) policyAloneUnsat(edges []*graph.Edge) bool {
+// without the query goal. The check is memoized alongside the main solve
+// and honors the caller's context like the main solve does.
+func (e *Engine) policyAloneUnsat(ctx context.Context, edges []*graph.Edge) bool {
 	axioms, _ := e.buildFormula(edges, "", "", "", "")
 	// Drop the goal conjunct: rebuild policy-only by removing the final
 	// ¬goal (buildFormula returns And(policy, ¬goal)).
 	if axioms.Op == fol.OpAnd && len(axioms.Sub) == 2 {
 		axioms = axioms.Sub[0]
 	}
-	res, _ := e.Cache.Memo(smt.CacheKey("policy-alone\x00"+axioms.String(), e.Limits), func() (smt.Result, error) {
+	res, _ := e.Cache.MemoCtx(ctx, smt.CacheKey("policy-alone\x00"+axioms.String(), e.Limits), func() (smt.Result, error) {
 		solver := smt.NewSolver()
 		solver.Limits = e.Limits
 		solver.Assert(axioms)
-		return solver.CheckSat(), nil
+		r := solver.CheckSatCtx(ctx)
+		if err := ctx.Err(); err != nil {
+			return r, err
+		}
+		return r, nil
 	})
+	e.observeSolve(res)
 	return res.Status == smt.Unsat
 }
 
 // solveAssumingConditions re-solves with every placeholder condition
 // asserted true (SMT-LIB check-sat-assuming), memoized alongside the main
-// solve.
-func (e *Engine) solveAssumingConditions(formula *fol.Formula, placeholders []string) smt.Status {
+// solve and cancellable via ctx.
+func (e *Engine) solveAssumingConditions(ctx context.Context, formula *fol.Formula, placeholders []string) smt.Status {
 	key := "assuming\x00" + formula.String() + "\x00" + strings.Join(placeholders, "\x1f")
-	res, _ := e.Cache.Memo(smt.CacheKey(key, e.Limits), func() (smt.Result, error) {
+	res, _ := e.Cache.MemoCtx(ctx, smt.CacheKey(key, e.Limits), func() (smt.Result, error) {
 		solver := smt.NewSolver()
 		solver.Limits = e.Limits
 		solver.Assert(formula)
@@ -243,8 +284,13 @@ func (e *Engine) solveAssumingConditions(formula *fol.Formula, placeholders []st
 		for i, p := range placeholders {
 			assumptions[i] = fol.UninterpretedPred(p)
 		}
-		return solver.CheckSatAssuming(assumptions...), nil
+		r := solver.CheckSatAssumingCtx(ctx, assumptions...)
+		if err := ctx.Err(); err != nil {
+			return r, err
+		}
+		return r, nil
 	})
+	e.observeSolve(res)
 	return res.Status
 }
 
@@ -297,7 +343,9 @@ func (e *Engine) translate(ctx context.Context, term string, record map[string]s
 			continue
 		}
 		cand := strings.TrimPrefix(m.Key, "node:")
+		llmStart := time.Now()
 		resp, err := e.Client.Complete(ctx, llm.SemanticEquivPrompt(term, cand))
+		e.Obs.Histogram("quagmire_llm_call_seconds", obs.TimeBuckets, "phase", "query").ObserveSince(llmStart)
 		if err != nil {
 			return "", fmt.Errorf("query: equivalence check: %w", err)
 		}

@@ -10,16 +10,20 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/obs"
 	"github.com/privacy-quagmire/quagmire/internal/query"
 	"github.com/privacy-quagmire/quagmire/internal/report"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
@@ -86,9 +90,33 @@ func New(opts Options) (*Server, error) {
 	return srv, nil
 }
 
-// Handler returns the routed HTTP handler with middleware applied.
+// expvarRegistry is the registry the process-global "quagmire" expvar
+// reads; expvar.Publish is global and panics on duplicates, so the var is
+// published once and re-pointed at the most recent server's registry.
+var expvarRegistry atomic.Pointer[obs.Registry]
+
+var publishExpvar = sync.OnceFunc(func() {
+	expvar.Publish("quagmire", expvar.Func(func() any {
+		return expvarRegistry.Load().Snapshot()
+	}))
+})
+
+// Handler returns the routed HTTP handler with middleware applied. The
+// observability routes — Prometheus text on /metrics, expvar JSON on
+// /debug/vars, the pprof suite under /debug/pprof/ — are mounted here on
+// the server's own mux, not on http.DefaultServeMux, so binding the API
+// to a port never accidentally exposes another library's debug handlers.
 func (s *Server) Handler() http.Handler {
+	expvarRegistry.Store(s.pipeline.Obs())
+	publishExpvar()
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /v1/policies", s.handleCreatePolicy)
 	mux.HandleFunc("GET /v1/policies", s.handleListPolicies)
@@ -120,10 +148,19 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
+		reg := s.pipeline.Obs()
+		reg.Counter("quagmire_http_requests_total", "code", strconv.Itoa(rec.status)).Inc()
+		reg.Histogram("quagmire_http_request_seconds", obs.TimeBuckets).ObserveSince(start)
 		if s.logger != nil {
 			s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Millisecond))
 		}
 	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.pipeline.Obs().WritePrometheus(w)
 }
 
 type statusRecorder struct {
@@ -611,7 +648,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "script is required")
 		return
 	}
-	results, err := smt.RunScript(req.Script, s.limits)
+	results, err := smt.RunScriptCtx(r.Context(), req.Script, s.limits)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
 		return

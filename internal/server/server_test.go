@@ -515,3 +515,97 @@ func TestConcurrencyLimiter(t *testing.T) {
 		t.Fatalf("freed server = %d", resp.StatusCode)
 	}
 }
+
+// TestMetricsEndpoint drives a full analyze + verify-batch cycle, then
+// asserts the Prometheus exposition reflects it: nonzero solve-time
+// histogram buckets, verdict counters, cache counters and HTTP counters.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/verify-batch",
+		map[string]any{"questions": []string{
+			"Does Acme share my email address with advertising partners?",
+			"Does Acme sell my personal information?",
+		}}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify-batch = %d", resp.StatusCode)
+	}
+
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsResp.Body.Close()
+	if metricsResp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", metricsResp.StatusCode)
+	}
+	if ct := metricsResp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(metricsResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// The solve histogram's +Inf bucket counts every fresh solve; after a
+	// verify-batch it must be nonzero.
+	infBucket := 0.0
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `quagmire_smt_solve_seconds_bucket{le="+Inf"}`) {
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &infBucket); err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+		}
+	}
+	if infBucket == 0 {
+		t.Errorf("quagmire_smt_solve_seconds +Inf bucket is zero after verify-batch:\n%s", body)
+	}
+	for _, want := range []string{
+		"# TYPE quagmire_smt_solve_seconds histogram",
+		"quagmire_smt_solve_seconds_sum",
+		"quagmire_smt_solve_seconds_count",
+		`quagmire_query_verdicts_total{verdict="VALID"}`,
+		"quagmire_smt_cache_hits_total",
+		"quagmire_smt_cache_misses_total",
+		"quagmire_extract_segments_total",
+		"quagmire_pipeline_phase_seconds_bucket",
+		"quagmire_http_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDebugEndpoints checks the expvar and pprof wiring.
+func TestDebugEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	createPolicy(t, ts)
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Quagmire struct {
+			Counters map[string]float64 `json:"counters"`
+		} `json:"quagmire"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode /debug/vars: %v", err)
+	}
+	if vars.Quagmire.Counters["quagmire_extract_segments_total"] == 0 {
+		t.Errorf("expvar quagmire.counters missing extraction activity: %v", vars.Quagmire.Counters)
+	}
+
+	pprofResp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pprofResp.Body.Close()
+	if pprofResp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", pprofResp.StatusCode)
+	}
+}

@@ -1,26 +1,48 @@
 package smt
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"sync"
+	"time"
 )
 
 // ResultCache memoizes SolveScript outcomes by a content hash of the
 // compiled SMT-LIB script plus the solver limits, so repeated or
-// overlapping queries skip the solver entirely. All methods are safe for
-// concurrent use; the solver itself stays deterministic, so a cached
-// Result is bit-identical to a recomputed one (modulo Stats.Elapsed,
-// which reports the original solve).
+// overlapping queries skip the solver entirely. Concurrent misses on the
+// same key are deduplicated singleflight-style: one goroutine (the
+// leader) runs the solver while the others wait and share its result, so
+// AskBatch never burns CPU solving the same problem twice. All methods
+// are safe for concurrent use; the solver itself stays deterministic, so
+// a cached Result is bit-identical to a recomputed one — except
+// Stats.Elapsed, which on a hit reports the actual lookup (or wait) time
+// with Stats.FromCache set, never the original solve's duration.
 type ResultCache struct {
 	mu      sync.Mutex
 	entries map[string]Result
 	// order tracks insertion for FIFO eviction once max is exceeded.
-	order []string
-	max   int
-	hits  uint64
-	miss  uint64
+	order    []string
+	max      int
+	inflight map[string]*inflightSolve
+	hits     uint64
+	miss     uint64
+	// suppressed counts lookups that joined an in-flight solve instead of
+	// starting a duplicate one (each is also counted as a hit).
+	suppressed uint64
+	evictions  uint64
+}
+
+// inflightSolve is one in-progress computation shared by concurrent
+// lookups of the same key. res/err are written exactly once, before done
+// is closed.
+type inflightSolve struct {
+	done    chan struct{}
+	waiters int
+	res     Result
+	err     error
 }
 
 // DefaultCacheSize bounds a cache constructed with size <= 0.
@@ -32,24 +54,44 @@ func NewResultCache(max int) *ResultCache {
 	if max <= 0 {
 		max = DefaultCacheSize
 	}
-	return &ResultCache{entries: map[string]Result{}, max: max}
+	return &ResultCache{
+		entries:  map[string]Result{},
+		inflight: map[string]*inflightSolve{},
+		max:      max,
+	}
 }
 
 // CacheStats reports cache effectiveness counters.
 type CacheStats struct {
-	// Hits counts lookups answered from the cache.
+	// Hits counts lookups answered without running the solver — from a
+	// stored entry or by sharing an in-flight solve.
 	Hits uint64 `json:"hits"`
 	// Misses counts lookups that had to run the solver.
 	Misses uint64 `json:"misses"`
+	// Suppressed counts the subset of Hits that were duplicate concurrent
+	// solves deduplicated singleflight-style (the stampede that PR 1's
+	// AskBatch made routine).
+	Suppressed uint64 `json:"suppressed"`
+	// Evictions counts entries dropped by FIFO eviction.
+	Evictions uint64 `json:"evictions"`
 	// Entries is the current number of cached results.
 	Entries int `json:"entries"`
 }
 
 // Stats returns a snapshot of the counters.
 func (c *ResultCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.miss, Entries: len(c.entries)}
+	return CacheStats{
+		Hits:       c.hits,
+		Misses:     c.miss,
+		Suppressed: c.suppressed,
+		Evictions:  c.evictions,
+		Entries:    len(c.entries),
+	}
 }
 
 // CacheKey hashes problem source text together with every limit field: a
@@ -73,23 +115,9 @@ func CacheKey(src string, limits Limits) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// get returns the cached result for the key, counting hit or miss.
-func (c *ResultCache) get(key string) (Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	res, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
-		c.miss++
-	}
-	return res, ok
-}
-
-// put stores a result, evicting the oldest entry when full.
-func (c *ResultCache) put(key string, res Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// putLocked stores a result, evicting the oldest entry when full. The
+// caller holds c.mu.
+func (c *ResultCache) putLocked(key string, res Result) {
 	if _, ok := c.entries[key]; ok {
 		return
 	}
@@ -97,35 +125,123 @@ func (c *ResultCache) put(key string, res Result) {
 		oldest := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, oldest)
+		c.evictions++
 	}
 	c.entries[key] = res
 	c.order = append(c.order, key)
 }
 
+// hit marks res as answered from the cache: FromCache is set and Elapsed
+// reports the caller's actual lookup/wait time instead of the original
+// solve's duration, so per-query timing stays honest.
+func hit(res Result, since time.Time) Result {
+	res.Stats.FromCache = true
+	res.Stats.Elapsed = time.Since(since)
+	return res
+}
+
 // Memo answers the keyed check from the cache, or runs compute and stores
-// its result. A nil cache degrades to a plain compute. Errors are never
-// cached: a malformed problem fails the same way every time and is cheap
-// to re-reject, while caching it would complicate the value type for no
-// win.
+// its result, deduplicating concurrent computations of the same key. A
+// nil cache degrades to a plain compute. Errors are never cached: a
+// malformed problem fails the same way every time and is cheap to
+// re-reject, while caching it would complicate the value type for no win.
 func (c *ResultCache) Memo(key string, compute func() (Result, error)) (Result, error) {
+	return c.MemoCtx(context.Background(), key, compute)
+}
+
+// MemoCtx is Memo with cancellation: a caller waiting on another
+// goroutine's in-flight solve returns ctx.Err() as soon as ctx is
+// cancelled instead of waiting the solve out. The leader's compute is
+// responsible for honoring its own context (SolveScriptCtx does).
+func (c *ResultCache) MemoCtx(ctx context.Context, key string, compute func() (Result, error)) (Result, error) {
 	if c == nil {
 		return compute()
 	}
-	if res, ok := c.get(key); ok {
-		return res, nil
-	}
-	res, err := compute()
-	if err != nil {
+	for {
+		start := time.Now()
+		c.mu.Lock()
+		if res, ok := c.entries[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return hit(res, start), nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			fl.waiters++
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+			if fl.err != nil {
+				// A leader cancelled by its own context must not poison
+				// waiters whose contexts are still live: retry (typically
+				// becoming the new leader). Other errors are shared — the
+				// same input fails the same way for everyone.
+				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+					if err := ctx.Err(); err != nil {
+						return Result{}, err
+					}
+					continue
+				}
+				return Result{}, fl.err
+			}
+			c.mu.Lock()
+			c.hits++
+			c.suppressed++
+			c.mu.Unlock()
+			return hit(fl.res, start), nil
+		}
+		// Miss with no flight in progress: become the leader.
+		c.miss++
+		fl := &inflightSolve{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
+
+		res, err := compute()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		fl.res, fl.err = res, err
+		if err == nil {
+			c.putLocked(key, res)
+		}
+		c.mu.Unlock()
+		close(fl.done)
 		return res, err
 	}
-	c.put(key, res)
-	return res, nil
+}
+
+// waitersOf reports how many goroutines are parked on the key's in-flight
+// solve; used by tests to deterministically observe stampede suppression.
+func (c *ResultCache) waitersOf(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fl, ok := c.inflight[key]; ok {
+		return fl.waiters
+	}
+	return 0
 }
 
 // SolveScriptCached is SolveScript with memoization keyed by script +
 // limits. A nil cache degrades to a plain solve.
 func SolveScriptCached(c *ResultCache, src string, limits Limits) (Result, error) {
-	return c.Memo(CacheKey(src, limits), func() (Result, error) {
-		return SolveScript(src, limits)
+	return SolveScriptCachedCtx(context.Background(), c, src, limits)
+}
+
+// SolveScriptCachedCtx is SolveScriptCached with cancellation: the solve
+// itself checks ctx inside its instantiation and refinement loops, and a
+// cancelled solve is returned as an error (never cached) so a later
+// lookup with a live context re-solves.
+func SolveScriptCachedCtx(ctx context.Context, c *ResultCache, src string, limits Limits) (Result, error) {
+	return c.MemoCtx(ctx, CacheKey(src, limits), func() (Result, error) {
+		res, err := SolveScriptCtx(ctx, src, limits)
+		if err != nil {
+			return res, err
+		}
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		return res, nil
 	})
 }

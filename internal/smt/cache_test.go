@@ -1,9 +1,13 @@
 package smt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 const satScript = `(declare-fun p () Bool)
@@ -129,5 +133,229 @@ func TestResultCacheConcurrent(t *testing.T) {
 	}
 	if st.Hits == 0 {
 		t.Error("repeated concurrent solves should hit the cache")
+	}
+}
+
+// TestResultCacheStampedeSuppression is the regression test for the PR 1
+// cache stampede: N concurrent misses on one key must run the solver once.
+// The leader blocks until the test has observed every other goroutine
+// parked on the flight, so the assertion on Suppressed is deterministic.
+func TestResultCacheStampedeSuppression(t *testing.T) {
+	const goroutines = 8
+	c := NewResultCache(0)
+	key := CacheKey("stampede", Limits{})
+	var computes atomic.Int32
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := c.Memo(key, func() (Result, error) {
+				computes.Add(1)
+				<-release
+				return Result{Status: Unsat}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	// Wait until all non-leaders are parked on the in-flight solve, then
+	// let the leader finish.
+	for c.waitersOf(key) < goroutines-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+	if st.Suppressed != goroutines-1 {
+		t.Errorf("suppressed = %d, want %d", st.Suppressed, goroutines-1)
+	}
+	fromCache := 0
+	for _, res := range results {
+		if res.Status != Unsat {
+			t.Fatalf("diverging result: %v", res.Status)
+		}
+		if res.Stats.FromCache {
+			fromCache++
+		}
+	}
+	if fromCache != goroutines-1 {
+		t.Errorf("%d results marked FromCache, want %d", fromCache, goroutines-1)
+	}
+}
+
+// TestResultCacheHitReportsLookupTime is the regression test for stale
+// timing: a hit must carry FromCache and its own (tiny) lookup time, not
+// the original solve's Elapsed.
+func TestResultCacheHitReportsLookupTime(t *testing.T) {
+	c := NewResultCache(0)
+	key := CacheKey("timing", Limits{})
+	const solveTime = 50 * time.Millisecond
+	first, err := c.Memo(key, func() (Result, error) {
+		time.Sleep(solveTime)
+		return Result{Status: Sat, Stats: Stats{Elapsed: solveTime}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.FromCache {
+		t.Error("first solve must not be marked FromCache")
+	}
+	second, err := c.Memo(key, func() (Result, error) {
+		t.Error("hit must not recompute")
+		return Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Stats.FromCache {
+		t.Error("hit not marked FromCache")
+	}
+	if second.Stats.Elapsed >= solveTime/2 {
+		t.Errorf("hit Elapsed = %v, want actual lookup time well under the %v solve", second.Stats.Elapsed, solveTime)
+	}
+}
+
+func TestResultCacheEvictionCounter(t *testing.T) {
+	c := NewResultCache(2)
+	for i := 0; i < 4; i++ {
+		script := fmt.Sprintf("(declare-fun q%d () Bool)\n(assert q%d)\n(check-sat)", i, i)
+		if _, err := SolveScriptCached(c, script, Limits{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 evictions and 2 entries", st)
+	}
+}
+
+// TestMemoCtxWaiterCancellation: a waiter whose context dies while the
+// leader is still solving returns promptly with ctx.Err().
+func TestMemoCtxWaiterCancellation(t *testing.T) {
+	c := NewResultCache(0)
+	key := CacheKey("waiter-cancel", Limits{})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		close(started)
+		_, err := c.Memo(key, func() (Result, error) {
+			<-release
+			return Result{Status: Sat}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	// Poll until the leader's flight is registered, then join it.
+	for {
+		c.mu.Lock()
+		_, registered := c.inflight[key]
+		c.mu.Unlock()
+		if registered {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.MemoCtx(ctx, key, func() (Result, error) {
+			t.Error("waiter must not compute while leader holds the flight")
+			return Result{}, nil
+		})
+		waiterErr <- err
+	}()
+	for c.waitersOf(key) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return while leader was still solving")
+	}
+	close(release)
+	<-leaderDone
+}
+
+// TestMemoCtxLeaderCancelDoesNotPoisonWaiters: when the leader's own
+// context dies mid-solve, a waiter with a live context retries and gets a
+// real answer instead of inheriting the leader's cancellation.
+func TestMemoCtxLeaderCancelDoesNotPoisonWaiters(t *testing.T) {
+	c := NewResultCache(0)
+	key := CacheKey("leader-cancel", Limits{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, err := c.MemoCtx(leaderCtx, key, func() (Result, error) {
+			<-release
+			return Result{}, leaderCtx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader error = %v, want context.Canceled", err)
+		}
+	}()
+	// The waiter must not start before the leader holds the flight, or it
+	// would become the leader itself and never park.
+	for {
+		c.mu.Lock()
+		_, registered := c.inflight[key]
+		c.mu.Unlock()
+		if registered {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterRes := make(chan Result, 1)
+	go func() {
+		res, err := c.Memo(key, func() (Result, error) {
+			// The retry path: this waiter becomes the new leader.
+			return Result{Status: Unsat}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		waiterRes <- res
+	}()
+	for c.waitersOf(key) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	close(release)
+	select {
+	case res := <-waiterRes:
+		if res.Status != Unsat {
+			t.Errorf("waiter status = %v, want Unsat from its own retry", res.Status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never recovered from leader cancellation")
+	}
+	<-leaderDone
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (only the retry's result cached)", st.Entries)
 	}
 }

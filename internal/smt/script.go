@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,14 @@ import (
 // returns one Result per check-sat / check-sat-assuming command, in order.
 // push/pop commands manage assertion scopes exactly as in the standard.
 func RunScript(src string, limits Limits) ([]Result, error) {
+	return RunScriptCtx(context.Background(), src, limits)
+}
+
+// RunScriptCtx is RunScript with cancellation: each check-sat polls the
+// context inside its instantiation and refinement loops, so a cancelled
+// caller stops burning CPU promptly. Checks reached after cancellation
+// report Unknown with reason "canceled".
+func RunScriptCtx(ctx context.Context, src string, limits Limits) ([]Result, error) {
 	cmds, err := smtlib.Parse(src)
 	if err != nil {
 		return nil, err
@@ -39,7 +48,7 @@ func RunScript(src string, limits Limits) ([]Result, error) {
 			solver.Assert(prob.Asserts[assertIdx])
 			assertIdx++
 		case "check-sat", "check-sat-assuming":
-			results = append(results, solver.CheckSat())
+			results = append(results, solver.CheckSatCtx(ctx))
 		}
 	}
 	return results, nil
@@ -49,7 +58,12 @@ func RunScript(src string, limits Limits) ([]Result, error) {
 // the one-shot entry point used by the pipeline ("the final FOL formula is
 // checked by an SMT solver").
 func SolveScript(src string, limits Limits) (Result, error) {
-	results, err := RunScript(src, limits)
+	return SolveScriptCtx(context.Background(), src, limits)
+}
+
+// SolveScriptCtx is SolveScript with cancellation (see RunScriptCtx).
+func SolveScriptCtx(ctx context.Context, src string, limits Limits) (Result, error) {
+	results, err := RunScriptCtx(ctx, src, limits)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -82,8 +83,14 @@ type Stats struct {
 	Atoms int
 	// SAT holds the boolean core's counters.
 	SAT sat.Stats
-	// Elapsed is the wall-clock duration of the check.
+	// Elapsed is the wall-clock duration of the check. For a Result
+	// answered from a ResultCache (FromCache set) it is the lookup or
+	// in-flight-wait time, not the original solve's duration.
 	Elapsed time.Duration
+	// FromCache marks a Result served by a ResultCache — either a stored
+	// entry or a share of a concurrent in-flight solve — rather than a
+	// fresh solver run.
+	FromCache bool `json:",omitempty"`
 }
 
 // Result is the outcome of a CheckSat.
@@ -152,14 +159,32 @@ func (s *Solver) Assertions() []*fol.Formula {
 
 // CheckSat decides satisfiability of the conjunction of all assertions.
 func (s *Solver) CheckSat() Result {
-	return s.check(nil)
+	return s.check(context.Background(), nil)
+}
+
+// CheckSatCtx is CheckSat with cancellation: the context is polled inside
+// the instantiation and DPLL(T) refinement loops, so a cancelled caller
+// (e.g. an aborted AskBatch) stops burning CPU promptly instead of
+// running to the solver's own resource limits. A cancelled check returns
+// Unknown with reason "canceled".
+func (s *Solver) CheckSatCtx(ctx context.Context) Result {
+	return s.check(ctx, nil)
 }
 
 // CheckSatAssuming decides satisfiability with the extra formulas assumed
 // for this call only, mirroring SMT-LIB's check-sat-assuming.
 func (s *Solver) CheckSatAssuming(assumptions ...*fol.Formula) Result {
-	return s.check(assumptions)
+	return s.check(context.Background(), assumptions)
 }
+
+// CheckSatAssumingCtx is CheckSatAssuming with cancellation (see
+// CheckSatCtx).
+func (s *Solver) CheckSatAssumingCtx(ctx context.Context, assumptions ...*fol.Formula) Result {
+	return s.check(ctx, assumptions)
+}
+
+// canceledReason marks Unknown results caused by context cancellation.
+const canceledReason = "canceled"
 
 // atomInfo records a ground atom and its SAT variable.
 type atomInfo struct {
@@ -167,16 +192,22 @@ type atomInfo struct {
 	v    int
 }
 
-func (s *Solver) check(assumptions []*fol.Formula) Result {
+// check's result must be named: the deferred Elapsed stamp below writes
+// to the return slot after every early return in this long function.
+func (s *Solver) check(ctx context.Context, assumptions []*fol.Formula) (res Result) {
 	start := time.Now()
 	lim := s.Limits.withDefaults()
 	deadline := time.Time{}
 	if lim.Timeout > 0 {
 		deadline = start.Add(lim.Timeout)
 	}
-	res := Result{}
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
 
+	if ctx.Err() != nil {
+		res.Status = Unknown
+		res.Reason = canceledReason
+		return res
+	}
 	all := append(s.Assertions(), assumptions...)
 	if len(all) == 0 {
 		res.Status = Sat
@@ -235,9 +266,16 @@ func (s *Solver) check(assumptions []*fol.Formula) Result {
 	var inst instStats
 	var complete bool
 	if s.Strategy == TriggerBased {
-		ground, inst, complete = triggerInstantiate(clauses, lim)
+		ground, inst, complete = triggerInstantiate(ctx, clauses, lim)
 	} else {
-		ground, inst, complete = s.instantiate(clauses, universe, lim, deadline)
+		ground, inst, complete = s.instantiate(ctx, clauses, universe, lim, deadline)
+	}
+	if ctx.Err() != nil {
+		res.Status = Unknown
+		res.Reason = canceledReason
+		res.Stats.Instantiations = inst.count
+		res.Stats.Rounds = inst.rounds
+		return res
 	}
 	res.Stats.Instantiations = inst.count
 	res.Stats.Rounds = inst.rounds
@@ -272,6 +310,12 @@ func (s *Solver) check(assumptions []*fol.Formula) Result {
 
 	// DPLL(T) refinement loop.
 	for lemmas := 0; ; lemmas++ {
+		if ctx.Err() != nil {
+			res.Status = Unknown
+			res.Reason = canceledReason
+			res.Stats.SAT = core.Stats()
+			return res
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Status = Unknown
 			res.Reason = "timeout"
@@ -377,9 +421,11 @@ type instStats struct {
 
 // instantiate grounds non-ground clauses over the term universe. Skolem
 // functions applied to universe elements extend the universe for the next
-// round, up to the round budget. It reports whether instantiation reached a
-// fixpoint (complete grounding).
-func (s *Solver) instantiate(clauses []fol.Clause, universe []fol.Term, lim Limits, deadline time.Time) ([]fol.Clause, instStats, bool) {
+// round, up to the round budget — or until ctx is cancelled, since the
+// odometer enumeration is where a large encoding spends most of its time.
+// It reports whether instantiation reached a fixpoint (complete
+// grounding).
+func (s *Solver) instantiate(ctx context.Context, clauses []fol.Clause, universe []fol.Term, lim Limits, deadline time.Time) ([]fol.Clause, instStats, bool) {
 	var ground []fol.Clause
 	var nonGround []fol.Clause
 	for _, c := range clauses {
@@ -410,6 +456,10 @@ func (s *Solver) instantiate(clauses []fol.Clause, universe []fol.Term, lim Limi
 			idxs := make([]int, len(vars))
 			for done := false; !done; done = advance(idxs, len(universe)) {
 				if st.count >= lim.MaxInstantiations {
+					complete = false
+					return ground, st, complete
+				}
+				if ctx.Err() != nil {
 					complete = false
 					return ground, st, complete
 				}

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -35,8 +36,8 @@ func (s InstStrategy) String() string {
 // triggerInstantiate grounds non-ground clauses by E-matching: for each
 // clause, the literal with the most variables is the trigger; its
 // predicate's ground occurrences donate substitutions. Rounds repeat while
-// new ground atoms appear, up to the budget.
-func triggerInstantiate(clauses []fol.Clause, lim Limits) ([]fol.Clause, instStats, bool) {
+// new ground atoms appear, up to the budget or until ctx is cancelled.
+func triggerInstantiate(ctx context.Context, clauses []fol.Clause, lim Limits) ([]fol.Clause, instStats, bool) {
 	var ground []fol.Clause
 	var nonGround []fol.Clause
 	for _, c := range clauses {
@@ -77,6 +78,9 @@ func triggerInstantiate(clauses []fol.Clause, lim Limits) ([]fol.Clause, instSta
 			}
 			for _, candidate := range atomIndex[trigger.Pred] {
 				if st.count >= lim.MaxInstantiations {
+					return ground, st, false
+				}
+				if ctx.Err() != nil {
 					return ground, st, false
 				}
 				sub, ok := matchAtom(trigger, candidate)

@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/embed"
 	"github.com/privacy-quagmire/quagmire/internal/graph"
 	"github.com/privacy-quagmire/quagmire/internal/llm"
 	"github.com/privacy-quagmire/quagmire/internal/nlp"
+	"github.com/privacy-quagmire/quagmire/internal/obs"
 )
 
 // Builder constructs hierarchies via CoL prompting. Builds may run
@@ -33,6 +35,10 @@ type Builder struct {
 	FilterThreshold float64
 	// MaxLayers bounds CoL iterations; default 6.
 	MaxLayers int
+	// Obs, when non-nil, receives induction metrics: CoL rounds, edges
+	// rejected by the similarity filter, fallback attachments, LLM-call
+	// latency, and per-build wall time labeled by hierarchy kind.
+	Obs *obs.Registry
 
 	// Stats from the last Build call to finish.
 	Stats Stats
@@ -61,10 +67,16 @@ func (b *Builder) Build(ctx context.Context, kind string, terms []string) (*grap
 		return nil, fmt.Errorf("taxonomy: Builder.Client is nil")
 	}
 	var st Stats
+	start := time.Now()
 	defer func() {
 		b.statsMu.Lock()
 		b.Stats = st
 		b.statsMu.Unlock()
+		b.Obs.Histogram("quagmire_taxonomy_build_seconds", obs.TimeBuckets, "kind", kind).ObserveSince(start)
+		b.Obs.Counter("quagmire_taxonomy_col_rounds_total").Add(uint64(st.Layers))
+		b.Obs.Counter("quagmire_taxonomy_llm_calls_total").Add(uint64(st.LLMCalls))
+		b.Obs.Counter("quagmire_taxonomy_edges_filtered_total").Add(uint64(st.Filtered))
+		b.Obs.Counter("quagmire_taxonomy_fallback_total").Add(uint64(st.Fallback))
 	}()
 	maxLayers := b.MaxLayers
 	if maxLayers <= 0 {
@@ -159,6 +171,7 @@ func (b *Builder) rejectedByFilter(parent, child string) bool {
 
 func (b *Builder) root(ctx context.Context, st *Stats, kind string, terms []string) (string, error) {
 	st.LLMCalls++
+	defer b.Obs.Histogram("quagmire_llm_call_seconds", obs.TimeBuckets, "phase", "taxonomy").ObserveSince(time.Now())
 	resp, err := b.Client.Complete(ctx, llm.TaxonomyRootPrompt(kind, terms))
 	if err != nil {
 		return "", fmt.Errorf("taxonomy: root prompt: %w", err)
@@ -174,6 +187,7 @@ func (b *Builder) root(ctx context.Context, st *Stats, kind string, terms []stri
 
 func (b *Builder) layer(ctx context.Context, st *Stats, kind string, frontier, remaining []string) (map[string][]string, error) {
 	st.LLMCalls++
+	defer b.Obs.Histogram("quagmire_llm_call_seconds", obs.TimeBuckets, "phase", "taxonomy").ObserveSince(time.Now())
 	resp, err := b.Client.Complete(ctx, llm.TaxonomyLayerPrompt(kind, frontier, remaining))
 	if err != nil {
 		return nil, fmt.Errorf("taxonomy: layer prompt: %w", err)

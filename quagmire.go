@@ -22,6 +22,7 @@ import (
 	"github.com/privacy-quagmire/quagmire/internal/embed"
 	"github.com/privacy-quagmire/quagmire/internal/kg"
 	"github.com/privacy-quagmire/quagmire/internal/llm"
+	"github.com/privacy-quagmire/quagmire/internal/obs"
 	"github.com/privacy-quagmire/quagmire/internal/query"
 	"github.com/privacy-quagmire/quagmire/internal/segment"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
@@ -111,6 +112,17 @@ func New(cfg Config) (*Analyzer, error) {
 // hits are queries whose (sub)problems were answered without running the
 // solver.
 func (a *Analyzer) SMTCacheStats() SMTCacheStats { return a.p.SMTCacheStats() }
+
+// Metrics is a point-in-time snapshot of every pipeline metric: counters,
+// gauges and latency histograms for all three phases plus the SMT layer.
+// Its Table method renders the per-phase breakdown the CLI's -stats flag
+// prints.
+type Metrics = obs.Snapshot
+
+// Metrics snapshots the analyzer's observability registry. Every Analyze,
+// Update, Ask and AskBatch call contributes; the snapshot is safe to take
+// while work is in flight.
+func (a *Analyzer) Metrics() Metrics { return a.p.Metrics() }
 
 // SimulatedModel returns the deterministic built-in language model,
 // wrapped with response caching. Use it as Config.Model when composing
