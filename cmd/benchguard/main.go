@@ -1,0 +1,191 @@
+// Command benchguard compares a `go test -bench` run against the committed
+// baseline (BENCH_PR3.json) and fails on performance regressions.
+//
+//	go test -run=NONE -bench ... -benchmem . | tee bench.txt
+//	go run ./cmd/benchguard -baseline BENCH_PR3.json -current bench.txt
+//
+// Count-based units (allocs/op, B/op) are machine-independent and compared
+// directly: current > baseline·(1+max_regression) fails. Time-based units
+// (ns/…) are noisy across hosts, so they are normalized first: the median
+// current/baseline ratio over all guarded time metrics estimates the
+// host-speed factor, and a metric fails only when its own ratio exceeds
+// median·(1+max_regression) — a uniform slowdown is a slower machine, an
+// outlier is a regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	MaxRegression float64                       `json:"max_regression"`
+	Benchmarks    map[string]map[string]measure `json:"benchmarks"`
+	Guard         []guardEntry                  `json:"guard"`
+}
+
+type measure map[string]float64
+
+type guardEntry struct {
+	Benchmark string `json:"benchmark"`
+	Unit      string `json:"unit"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// lookup finds a benchmark by its base name. Go appends -GOMAXPROCS to
+// benchmark names (omitted when GOMAXPROCS=1), and sub-benchmark names can
+// themselves end in -<digits>, so stripping unconditionally is ambiguous:
+// try the exact name first, then any raw name whose suffix-stripped form
+// matches.
+func lookup(m map[string]measure, name string) (measure, bool) {
+	if v, ok := m[name]; ok {
+		return v, true
+	}
+	for raw, v := range m {
+		if cpuSuffix.ReplaceAllString(raw, "") == name {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// parseBench reads `go test -bench` output into benchmark → unit → value,
+// keyed by the raw printed name. Repeated runs of a benchmark are averaged.
+func parseBench(r io.Reader) (map[string]measure, error) {
+	out := map[string]measure{}
+	counts := map[string]map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if out[name] == nil {
+			out[name] = measure{}
+			counts[name] = map[string]int{}
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q: %v", name, fields[i], err)
+			}
+			unit := fields[i+1]
+			n := counts[name][unit]
+			out[name][unit] = (out[name][unit]*float64(n) + v) / float64(n+1)
+			counts[name][unit]++
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_PR3.json", "committed baseline JSON")
+	currentPath := flag.String("current", "-", "bench output to check (- for stdin)")
+	maxRegress := flag.Float64("max-regress", 0, "override the baseline's max_regression")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %v", *baselinePath, err))
+	}
+	limit := base.MaxRegression
+	if *maxRegress > 0 {
+		limit = *maxRegress
+	}
+	if limit <= 0 {
+		limit = 0.20
+	}
+
+	var in io.Reader = os.Stdin
+	if *currentPath != "-" {
+		f, err := os.Open(*currentPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	type check struct {
+		guardEntry
+		base, cur, ratio float64
+		timeBased        bool
+	}
+	var checks []check
+	var timeRatios []float64
+	for _, g := range base.Guard {
+		ref, ok := base.Benchmarks[g.Benchmark]["after"]
+		if !ok || ref[g.Unit] == 0 {
+			fatal(fmt.Errorf("baseline has no 'after' %s for %s", g.Unit, g.Benchmark))
+		}
+		cur, ok := lookup(current, g.Benchmark)
+		if !ok {
+			fatal(fmt.Errorf("current run is missing %s (did the bench filter change?)", g.Benchmark))
+		}
+		v, ok := cur[g.Unit]
+		if !ok {
+			fatal(fmt.Errorf("current run of %s has no %s metric", g.Benchmark, g.Unit))
+		}
+		c := check{guardEntry: g, base: ref[g.Unit], cur: v, ratio: v / ref[g.Unit],
+			timeBased: strings.HasPrefix(g.Unit, "ns/")}
+		if c.timeBased {
+			timeRatios = append(timeRatios, c.ratio)
+		}
+		checks = append(checks, c)
+	}
+
+	hostFactor := 1.0
+	if len(timeRatios) > 0 {
+		sort.Float64s(timeRatios)
+		hostFactor = timeRatios[len(timeRatios)/2]
+	}
+
+	failed := false
+	for _, c := range checks {
+		allowed := 1 + limit
+		norm := c.ratio
+		if c.timeBased {
+			norm = c.ratio / hostFactor
+		}
+		status := "ok"
+		if norm > allowed {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-50s %-12s base=%-14.0f cur=%-14.0f x%.2f (norm x%.2f, limit x%.2f) %s\n",
+			c.Benchmark, c.Unit, c.base, c.cur, c.ratio, norm, allowed, status)
+	}
+	if len(timeRatios) > 0 {
+		fmt.Printf("host speed factor (median time ratio): x%.2f\n", hostFactor)
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -41,6 +41,11 @@ type Options struct {
 	// SMTCacheSize bounds the shared SMT result cache (entries); 0 selects
 	// the default, negative disables caching.
 	SMTCacheSize int
+	// SharedSolverCore routes each engine's solve stage through one
+	// long-lived incremental SMT core (see query.Engine.SharedCore): the
+	// policy's ground encoding is built once per knowledge-graph snapshot
+	// and batch queries share it via solver assumptions.
+	SharedSolverCore bool
 	// Obs is the metrics registry threaded through every phase; nil
 	// creates a fresh registry (observability is always on — a registry
 	// nobody scrapes costs a few atomic adds).
@@ -49,15 +54,16 @@ type Options struct {
 
 // Pipeline runs Algorithm 1.
 type Pipeline struct {
-	client    llm.Client
-	model     *embed.Model
-	extractor *extract.Extractor
-	kgBuilder *kg.Builder
-	limits    smt.Limits
-	store     *cache.Store
-	workers   int
-	smtCache  *smt.ResultCache
-	obs       *obs.Registry
+	client     llm.Client
+	model      *embed.Model
+	extractor  *extract.Extractor
+	kgBuilder  *kg.Builder
+	limits     smt.Limits
+	store      *cache.Store
+	workers    int
+	smtCache   *smt.ResultCache
+	obs        *obs.Registry
+	sharedCore bool
 }
 
 // New constructs a pipeline from options.
@@ -83,13 +89,14 @@ func New(opts Options) (*Pipeline, error) {
 	extractor.Workers = opts.Workers
 	extractor.Obs = reg
 	p := &Pipeline{
-		client:    client,
-		model:     model,
-		extractor: extractor,
-		kgBuilder: kg.NewBuilder(tb),
-		limits:    opts.Limits,
-		workers:   opts.Workers,
-		obs:       reg,
+		client:     client,
+		model:      model,
+		extractor:  extractor,
+		kgBuilder:  kg.NewBuilder(tb),
+		limits:     opts.Limits,
+		workers:    opts.Workers,
+		obs:        reg,
+		sharedCore: opts.SharedSolverCore,
 	}
 	if opts.SMTCacheSize >= 0 {
 		p.smtCache = smt.NewResultCache(opts.SMTCacheSize)
@@ -139,6 +146,7 @@ func (p *Pipeline) newEngine(k *kg.KnowledgeGraph) *query.Engine {
 	e.Workers = p.workers
 	e.Cache = p.smtCache
 	e.Obs = p.obs
+	e.SharedCore = p.sharedCore
 	return e
 }
 

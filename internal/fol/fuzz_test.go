@@ -1,0 +1,49 @@
+package fol
+
+import "testing"
+
+// FuzzParse checks the parser round-trip invariant: any input the parser
+// accepts must print to a string that parses back to the same formula
+// (fixed point of Parse∘String), and the parser must never panic on
+// arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(x)",
+		"¬p(a)",
+		"(p(a) ∧ q(b))",
+		"(p(a) ∨ ¬q(b))",
+		"(p(a) → q(a))",
+		"∀x. p(x)",
+		"∃y. (p(y) ∧ r(y,a))",
+		"∀x. ∃y. r(x,y)",
+		"(f(a) = g(b,c))",
+		"¬(x = y)",
+		"⊤",
+		"⊥",
+		"[vague condition]",
+		"∀x. (p(f(x)) → ∃y. r(x,g(y)))",
+		"((p(a) ∧ q(b)) ∨ (r(a,b) → ⊥))",
+		"p(",
+		"∀. p(x)",
+		"((((",
+		"p(x))",
+		"= a b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		parsed, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := parsed.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Parse accepted %q but rejected its own print %q: %v", src, printed, err)
+		}
+		if got := again.String(); got != printed {
+			t.Fatalf("print not a fixed point: %q -> %q -> %q", src, printed, got)
+		}
+	})
+}

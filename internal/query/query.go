@@ -103,12 +103,23 @@ type Engine struct {
 	// Cache, when non-nil, memoizes solver results by compiled script +
 	// limits so repeated or overlapping queries skip the solver entirely.
 	Cache *smt.ResultCache
+	// SharedCore, when true, routes the solve stage through one long-lived
+	// incremental SMT core per engine: the whole policy's ground encoding
+	// (practice facts, subtype facts, hierarchy axioms) is clausified,
+	// interned and instantiated once, and every query solves only its goal
+	// under a selector assumption, reusing the base clauses, quantifier
+	// instantiations and learned clauses across the batch. Opt-in because
+	// it fixes the axiom set to the whole policy (as WholePolicy does):
+	// verdicts can differ from subgraph mode where the wider axiom set
+	// strengthens an Unsat.
+	SharedCore bool
 	// Obs, when non-nil, receives verification metrics: per-phase latency
 	// (translate/subgraph/compile/solve), per-verdict counts, fresh solver
 	// time and instantiation counts. Safe to share across engines.
 	Obs *obs.Registry
 
-	index *embed.Index
+	index  *embed.Index
+	shared sharedState
 }
 
 // phaseTimer observes one Phase 3 stage's latency on the engine's
@@ -215,7 +226,12 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 
 	stopSolve := e.phaseTimer("solve")
 	defer stopSolve()
-	smtRes, err := smt.SolveScriptCachedCtx(ctx, e.Cache, res.Script, e.Limits)
+	var smtRes smt.Result
+	if e.SharedCore {
+		smtRes, err = e.sharedSolve(ctx, actor, action, data, other, nil)
+	} else {
+		smtRes, err = smt.SolveScriptCachedCtx(ctx, e.Cache, res.Script, e.Limits)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("query: solve: %w", err)
 	}
@@ -226,7 +242,13 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 		res.Verdict = Valid
 		// Distinguish "follows from the policy" from "the policy itself
 		// is contradictory" (ex falso): re-check the axioms alone.
-		if e.policyAloneUnsat(ctx, edges) {
+		contradictory := false
+		if e.SharedCore {
+			contradictory = e.sharedPolicyAloneUnsat(ctx)
+		} else {
+			contradictory = e.policyAloneUnsat(ctx, edges)
+		}
+		if contradictory {
 			res.Verdict = Unknown
 			res.Contradiction = true
 		}
@@ -235,7 +257,15 @@ func (e *Engine) AskParams(ctx context.Context, p llm.ParamSet) (*Result, error)
 		// The query may hold conditionally: retry assuming every vague
 		// placeholder condition is true.
 		if len(placeholders) > 0 {
-			if v := e.solveAssumingConditions(ctx, formula, placeholders); v == smt.Unsat {
+			v := smt.Unknown
+			if e.SharedCore {
+				if r, err := e.sharedSolve(ctx, actor, action, data, other, placeholders); err == nil {
+					v = r.Status
+				}
+			} else {
+				v = e.solveAssumingConditions(ctx, formula, placeholders)
+			}
+			if v == smt.Unsat {
 				res.Verdict = Valid
 				res.ConditionalOn = placeholders
 			}
@@ -456,10 +486,26 @@ func condSym(cond string) string { return "cond_" + sym(cond) }
 // existentially quantified goal. The returned formula asserts
 // policy ∧ ¬goal, so unsat ⇔ the query follows from the policy.
 func (e *Engine) buildFormula(edges []*graph.Edge, actor, action, data, other string) (*fol.Formula, []string) {
-	var axioms []*fol.Formula
 	placeholderSet := map[string]bool{}
+	axioms := e.practiceFacts(edges, placeholderSet)
+	axioms = append(axioms, e.subtypeFacts(dataTermList(edges, data))...)
+	axioms = append(axioms, subtypeAxioms()...)
+	goal := queryGoal(actor, action, data, other)
 
-	// Practice facts. practice(actor, action, data, other).
+	placeholders := make([]string, 0, len(placeholderSet))
+	for p := range placeholderSet {
+		placeholders = append(placeholders, p)
+	}
+	sort.Strings(placeholders)
+	return fol.And(fol.And(axioms...), fol.Not(goal)), placeholders
+}
+
+// practiceFacts encodes the edges' policy statements as
+// practice(actor, action, data, other) facts, negated for denials and
+// guarded by uninterpreted condition predicates (recorded in
+// placeholderSet) when vague.
+func (e *Engine) practiceFacts(edges []*graph.Edge, placeholderSet map[string]bool) []*fol.Formula {
+	var facts []*fol.Formula
 	for _, ed := range edges {
 		otherTerm := ed.Other
 		if otherTerm == "" {
@@ -480,11 +526,14 @@ func (e *Engine) buildFormula(edges []*graph.Edge, actor, action, data, other st
 			placeholderSet[condSym(ed.Condition)] = true
 			fact = fol.Implies(cond, fact)
 		}
-		axioms = append(axioms, fact)
+		facts = append(facts, fact)
 	}
+	return facts
+}
 
-	// Subtype facts over the data types seen in the subgraph plus the
-	// query data term, restricted to hierarchy-related pairs.
+// dataTermList collects the data types seen in the subgraph plus the query
+// data term, sorted.
+func dataTermList(edges []*graph.Edge, data string) []string {
 	terms := map[string]bool{}
 	if data != "" {
 		terms[data] = true
@@ -492,23 +541,36 @@ func (e *Engine) buildFormula(edges []*graph.Edge, actor, action, data, other st
 	for _, ed := range edges {
 		terms[ed.To] = true
 	}
-	var termList []string
+	termList := make([]string, 0, len(terms))
 	for t := range terms {
 		termList = append(termList, t)
 	}
 	sort.Strings(termList)
-	if !e.NoHierarchy {
-		for _, a := range termList {
-			for _, b := range termList {
-				if a != b && e.KG.DataH.Subsumes(b, a) {
-					axioms = append(axioms, fol.Pred("subtype", fol.Const(sym(a)), fol.Const(sym(b))))
-				}
+	return termList
+}
+
+// subtypeFacts emits ground subtype facts for hierarchy-related pairs of
+// the given term list (empty under NoHierarchy — ablation A1).
+func (e *Engine) subtypeFacts(termList []string) []*fol.Formula {
+	if e.NoHierarchy {
+		return nil
+	}
+	var facts []*fol.Formula
+	for _, a := range termList {
+		for _, b := range termList {
+			if a != b && e.KG.DataH.Subsumes(b, a) {
+				facts = append(facts, fol.Pred("subtype", fol.Const(sym(a)), fol.Const(sym(b))))
 			}
 		}
 	}
-	// Reflexivity and transitivity of subtype (quantified axioms — these
-	// are what push full-policy formulas beyond the solver's reach).
-	axioms = append(axioms,
+	return facts
+}
+
+// subtypeAxioms returns reflexivity and transitivity of subtype (the
+// quantified axioms — these are what push full-policy formulas beyond the
+// solver's reach).
+func subtypeAxioms() []*fol.Formula {
+	return []*fol.Formula{
 		fol.Forall("x", fol.Pred("subtype", fol.Var("x"), fol.Var("x"))),
 		fol.Forall("x", fol.Forall("y", fol.Forall("z",
 			fol.Implies(
@@ -518,26 +580,22 @@ func (e *Engine) buildFormula(edges []*graph.Edge, actor, action, data, other st
 				),
 				fol.Pred("subtype", fol.Var("x"), fol.Var("z")),
 			)))),
-	)
+	}
+}
 
-	// Goal: ∃d. subtype(d, data) ∧ practice(actor, action, d, other').
-	// When the query names a receiver, it must match; otherwise any
-	// counterparty witnesses the practice.
+// queryGoal is the query encoding:
+// ∃d. subtype(d, data) ∧ practice(actor, action, d, other').
+// When the query names a receiver, it must match; otherwise any
+// counterparty witnesses the practice.
+func queryGoal(actor, action, data, other string) *fol.Formula {
 	goalPractice := func(d fol.Term) *fol.Formula {
 		if other != "" {
 			return fol.Pred("practice", fol.Const(sym(actor)), fol.Const(sym(action)), d, fol.Const(sym(other)))
 		}
 		return fol.Exists("o", fol.Pred("practice", fol.Const(sym(actor)), fol.Const(sym(action)), d, fol.Var("o")))
 	}
-	goal := fol.Exists("d", fol.And(
+	return fol.Exists("d", fol.And(
 		fol.Pred("subtype", fol.Var("d"), fol.Const(sym(data))),
 		goalPractice(fol.Var("d")),
 	))
-
-	placeholders := make([]string, 0, len(placeholderSet))
-	for p := range placeholderSet {
-		placeholders = append(placeholders, p)
-	}
-	sort.Strings(placeholders)
-	return fol.And(fol.And(axioms...), fol.Not(goal)), placeholders
 }

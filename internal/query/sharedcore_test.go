@@ -1,0 +1,115 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/obs"
+)
+
+// sharedCoreQueries exercises valid, invalid, conditional and repeated
+// questions — eight queries, the batch size the acceptance criterion pins.
+var sharedCoreQueries = []string{
+	"Does TikTak share my email address with advertising partners?",
+	"Does TikTak share my usage data with service providers?",
+	"Does TikTak share my medical records with insurance companies?",
+	"Does TikTak sell my personal information?",
+	"Does TikTak collect my device information?",
+	"Does TikTak share my contact information with advertising partners?",
+	"Does TikTak share my email address with service providers?",
+	"Does TikTak share my email address with advertising partners?", // repeat
+}
+
+// TestSharedCoreBatchBuildsGroundCoreOnce is the acceptance criterion for
+// the shared solver core: an AskBatch of 8 queries must cost at most one
+// ground-core construction, observable through the obs counters.
+func TestSharedCoreBatchBuildsGroundCoreOnce(t *testing.T) {
+	eng := newEngine(t)
+	eng.SharedCore = true
+	eng.Obs = obs.NewRegistry()
+	items, err := eng.AskBatch(context.Background(), sharedCoreQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(sharedCoreQueries) {
+		t.Fatalf("items = %d, want %d", len(items), len(sharedCoreQueries))
+	}
+	for _, it := range items {
+		if it.Err != nil {
+			t.Fatalf("query %q: %v", it.Query, it.Err)
+		}
+	}
+	if builds := eng.Obs.Counter("quagmire_ground_core_builds_total").Value(); builds != 1 {
+		t.Fatalf("ground core built %d times for an 8-query batch, want 1", builds)
+	}
+	if solves := eng.Obs.Counter("quagmire_incremental_solves_total").Value(); solves < uint64(len(sharedCoreQueries)) {
+		t.Fatalf("incremental solves = %d, want >= %d", solves, len(sharedCoreQueries))
+	}
+	snap := eng.Obs.Snapshot()
+	for _, g := range []string{"quagmire_arena_interned_terms", "quagmire_arena_interned_atoms", "quagmire_core_ground_clauses"} {
+		if snap.Gauges[g] <= 0 {
+			t.Errorf("gauge %s not exported (snapshot %v)", g, snap.Gauges)
+		}
+	}
+}
+
+// TestSharedCoreMatchesWholePolicy checks the documented semantics: a
+// SharedCore engine answers exactly like a non-shared engine in WholePolicy
+// mode (both fix the axiom set to the entire policy encoding).
+func TestSharedCoreMatchesWholePolicy(t *testing.T) {
+	shared := newEngine(t)
+	shared.SharedCore = true
+	shared.Obs = obs.NewRegistry()
+	plain := newEngine(t)
+	plain.WholePolicy = true
+
+	ctx := context.Background()
+	for _, q := range sharedCoreQueries {
+		got, err := shared.Ask(ctx, q)
+		if err != nil {
+			t.Fatalf("shared %q: %v", q, err)
+		}
+		want, err := plain.Ask(ctx, q)
+		if err != nil {
+			t.Fatalf("plain %q: %v", q, err)
+		}
+		if got.Verdict != want.Verdict {
+			t.Errorf("%q: shared=%s whole-policy=%s (shared smt %s %q; plain smt %s %q)",
+				q, got.Verdict, want.Verdict, got.SMT.Status, got.SMT.Reason, want.SMT.Status, want.SMT.Reason)
+		}
+	}
+}
+
+// TestSharedCoreConcurrentBatch runs the shared-core batch with a worker
+// pool; the mutex in sharedState must serialize core access without
+// deadlock or divergent verdicts.
+func TestSharedCoreConcurrentBatch(t *testing.T) {
+	eng := newEngine(t)
+	eng.SharedCore = true
+	eng.Workers = 4
+	eng.Obs = obs.NewRegistry()
+	items, err := eng.AskBatch(context.Background(), sharedCoreQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := newEngine(t)
+	sequential.SharedCore = true
+	sequential.Workers = 1
+	sequential.Obs = obs.NewRegistry()
+	seqItems, err := sequential.AskBatch(context.Background(), sharedCoreQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if items[i].Err != nil || seqItems[i].Err != nil {
+			t.Fatalf("query %q: errs %v / %v", items[i].Query, items[i].Err, seqItems[i].Err)
+		}
+		if items[i].Result.Verdict != seqItems[i].Result.Verdict {
+			t.Errorf("%q: concurrent=%s sequential=%s",
+				items[i].Query, items[i].Result.Verdict, seqItems[i].Result.Verdict)
+		}
+	}
+	if builds := eng.Obs.Counter("quagmire_ground_core_builds_total").Value(); builds != 1 {
+		t.Fatalf("concurrent batch built the core %d times, want 1", builds)
+	}
+}

@@ -1,10 +1,16 @@
 // Package sat implements a CDCL (conflict-driven clause learning) boolean
-// satisfiability solver: two-watched-literal propagation, first-UIP conflict
-// analysis, VSIDS-style activity ordering, phase saving, Luby restarts,
-// solving under assumptions, and deterministic resource budgets.
+// satisfiability solver: two-watched-literal propagation over dense
+// slice-indexed watch lists, first-UIP conflict analysis, VSIDS-style
+// activity ordering with a binary heap, phase saving, Luby restarts,
+// native incremental solving under assumptions (learned clauses are
+// retained across calls), and deterministic resource budgets.
 //
 // It is the boolean core of the internal/smt solver, standing in for the
-// SAT engines inside CVC5/Z3 that the paper uses.
+// SAT engines inside CVC5/Z3 that the paper uses. The solver is fully
+// incremental: AddClause is legal between Solve calls, and a Solve under
+// assumptions runs in place — no sub-solver is constructed, and clauses
+// learned under assumptions remain valid for later calls because conflict
+// analysis never resolves on assumption decisions.
 package sat
 
 import (
@@ -33,6 +39,15 @@ func (l Lit) Sign() bool { return l > 0 }
 
 // String renders the literal as in DIMACS.
 func (l Lit) String() string { return fmt.Sprintf("%d", int(l)) }
+
+// watchIdx maps a literal to its dense watch-list slot: positive literals
+// of variable v at 2v, negative at 2v+1.
+func watchIdx(l Lit) int {
+	if l > 0 {
+		return int(l) << 1
+	}
+	return int(-l)<<1 | 1
+}
 
 // Status is the outcome of a Solve call.
 type Status int
@@ -75,6 +90,8 @@ type Stats struct {
 	Learned int64
 	// Restarts counts restarts performed.
 	Restarts int64
+	// Solves counts Solve calls (incremental re-solves included).
+	Solves int64
 }
 
 const (
@@ -89,25 +106,30 @@ type clause struct {
 	act     float64
 }
 
-// Solver is a CDCL SAT solver. The zero value is ready to use; add
-// variables implicitly by referencing them in AddClause.
+// Solver is an incremental CDCL SAT solver. The zero value is ready to
+// use; add variables implicitly by referencing them in AddClause. Clauses
+// may be added at any point between Solve calls; learned clauses and
+// variable activities persist, so repeated solves over a growing clause
+// database (the DPLL(T) refinement loop, instantiation rounds, batch
+// queries under assumptions) reuse all prior search effort.
 type Solver struct {
 	clauses  []*clause
-	watches  map[Lit][]*clause // literal -> clauses watching it
-	assign   []int8            // var -> lTrue/lFalse/lUndef
-	level    []int             // var -> decision level assigned at
-	reason   []*clause         // var -> implying clause
-	activity []float64         // var -> VSIDS activity
-	phase    []int8            // var -> saved phase
+	watches  [][]*clause // watchIdx(lit) -> clauses watching it
+	units    []Lit       // unit clauses, asserted at level 0 each solve
+	assign   []int8      // var -> lTrue/lFalse/lUndef
+	level    []int       // var -> decision level assigned at
+	reason   []*clause   // var -> implying clause
+	activity []float64   // var -> VSIDS activity
+	phase    []int8      // var -> saved phase
+	heapPos  []int       // var -> index in heap, -1 when absent
+	heap     []int       // binary max-heap of vars ordered by activity
+	seen     []bool      // var -> scratch for analyze
 	trail    []Lit
 	trailLim []int // decision level -> trail index
 	qhead    int
 	varInc   float64
 	stats    Stats
 	unsatNow bool // empty clause added
-	// modelOverride marks that assign holds a model copied from an
-	// assumption sub-solve rather than this solver's own trail.
-	modelOverride bool
 
 	// Budget caps total propagations+decisions; 0 means unlimited.
 	Budget int64
@@ -117,11 +139,12 @@ type Solver struct {
 	// removes the low-activity half; 0 selects the default (8192).
 	MaxLearned int
 	claInc     float64
+	learnedCnt int
 }
 
 // New returns an empty solver.
 func New() *Solver {
-	return &Solver{watches: map[Lit][]*clause{}, varInc: 1, claInc: 1}
+	return &Solver{varInc: 1, claInc: 1}
 }
 
 // NumVars returns the highest variable index seen.
@@ -129,40 +152,132 @@ func (s *Solver) NumVars() int { return len(s.assign) - 1 }
 
 func (s *Solver) ensureVar(v int) {
 	for len(s.assign) <= v {
+		nv := len(s.assign)
 		s.assign = append(s.assign, lUndef)
 		s.level = append(s.level, 0)
 		s.reason = append(s.reason, nil)
 		s.activity = append(s.activity, 0)
 		s.phase = append(s.phase, lFalse)
+		s.seen = append(s.seen, false)
+		s.watches = append(s.watches, nil, nil)
+		s.heapPos = append(s.heapPos, -1)
+		if nv > 0 {
+			s.heapInsert(nv)
+		}
 	}
 }
 
+// --- activity heap -------------------------------------------------------
+
+func (s *Solver) heapLess(a, b int) bool { return s.activity[a] > s.activity[b] }
+
+func (s *Solver) heapSwap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heapPos[s.heap[i]] = i
+	s.heapPos[s.heap[j]] = j
+}
+
+func (s *Solver) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(s.heap[i], s.heap[p]) {
+			return
+		}
+		s.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (s *Solver) heapDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.heapLess(s.heap[l], s.heap[best]) {
+			best = l
+		}
+		if r < n && s.heapLess(s.heap[r], s.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.heapSwap(i, best)
+		i = best
+	}
+}
+
+func (s *Solver) heapInsert(v int) {
+	if s.heapPos[v] >= 0 {
+		return
+	}
+	s.heapPos[v] = len(s.heap)
+	s.heap = append(s.heap, v)
+	s.heapUp(s.heapPos[v])
+}
+
+func (s *Solver) heapPop() int {
+	v := s.heap[0]
+	last := len(s.heap) - 1
+	s.heapSwap(0, last)
+	s.heap = s.heap[:last]
+	s.heapPos[v] = -1
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return v
+}
+
+// --- clause management ---------------------------------------------------
+
 // AddClause adds a clause (a disjunction of literals). Duplicate literals
 // are removed; tautologies are ignored. Adding the empty clause makes the
-// instance trivially unsatisfiable.
+// instance trivially unsatisfiable. AddClause is legal at any point
+// between Solve calls; the next Solve takes the new clause into account.
 func (s *Solver) AddClause(lits ...Lit) {
-	// Normalize: sort, dedupe, drop tautologies.
-	seen := map[Lit]bool{}
-	var norm []Lit
+	norm := make([]Lit, 0, len(lits))
 	for _, l := range lits {
 		if l == 0 {
 			panic("sat: zero literal")
 		}
-		if seen[l.Neg()] {
-			return // tautology
+		norm = append(norm, l)
+		s.ensureVar(l.Var())
+	}
+	// Sort by variable (then sign) so duplicates and complementary pairs
+	// are adjacent — insertion sort, no allocation on this hot path.
+	litLess := func(a, b Lit) bool {
+		va, vb := a.Var(), b.Var()
+		if va != vb {
+			return va < vb
 		}
-		if !seen[l] {
-			seen[l] = true
-			norm = append(norm, l)
-			s.ensureVar(l.Var())
+		return a < b
+	}
+	for i := 1; i < len(norm); i++ {
+		for j := i; j > 0 && litLess(norm[j], norm[j-1]); j-- {
+			norm[j], norm[j-1] = norm[j-1], norm[j]
 		}
 	}
-	if len(norm) == 0 {
+	out := norm[:0]
+	for i, l := range norm {
+		if i > 0 {
+			prev := out[len(out)-1]
+			if prev == l {
+				continue // duplicate
+			}
+			if prev == l.Neg() {
+				return // tautology
+			}
+		}
+		out = append(out, l)
+	}
+	if len(out) == 0 {
 		s.unsatNow = true
 		return
 	}
-	sort.Slice(norm, func(i, j int) bool { return norm[i] < norm[j] })
-	c := &clause{lits: norm}
+	if len(out) == 1 {
+		s.units = append(s.units, out[0])
+	}
+	c := &clause{lits: out}
 	s.attach(c)
 	s.clauses = append(s.clauses, c)
 }
@@ -171,8 +286,24 @@ func (s *Solver) attach(c *clause) {
 	if len(c.lits) == 1 {
 		return // units handled at solve start
 	}
-	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
-	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+	w0, w1 := watchIdx(c.lits[0]), watchIdx(c.lits[1])
+	s.watches[w0] = append(s.watches[w0], c)
+	s.watches[w1] = append(s.watches[w1], c)
+}
+
+// detach removes the clause from its watch lists.
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0], c.lits[1]} {
+		wi := watchIdx(w)
+		list := s.watches[wi]
+		for i, x := range list {
+			if x == c {
+				list[i] = list[len(list)-1]
+				s.watches[wi] = list[:len(list)-1]
+				break
+			}
+		}
+	}
 }
 
 func (s *Solver) value(l Lit) int8 {
@@ -215,7 +346,8 @@ func (s *Solver) propagate() *clause {
 		s.steps++
 		s.stats.Propagations++
 		neg := p.Neg()
-		ws := s.watches[neg]
+		wi := watchIdx(neg)
+		ws := s.watches[wi]
 		kept := ws[:0]
 		var conflict *clause
 		for i := 0; i < len(ws); i++ {
@@ -237,7 +369,8 @@ func (s *Solver) propagate() *clause {
 			for k := 2; k < len(c.lits); k++ {
 				if s.value(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					nw := watchIdx(c.lits[1])
+					s.watches[nw] = append(s.watches[nw], c)
 					moved = true
 					break
 				}
@@ -250,7 +383,7 @@ func (s *Solver) propagate() *clause {
 				conflict = c
 			}
 		}
-		s.watches[neg] = kept
+		s.watches[wi] = kept
 		if conflict != nil {
 			return conflict
 		}
@@ -295,25 +428,12 @@ func (s *Solver) reduceDB() {
 	for _, c := range s.clauses {
 		if drop[c] {
 			s.detach(c)
+			s.learnedCnt--
 			continue
 		}
 		kept = append(kept, c)
 	}
 	s.clauses = kept
-}
-
-// detach removes the clause from its watch lists.
-func (s *Solver) detach(c *clause) {
-	for _, w := range []Lit{c.lits[0], c.lits[1]} {
-		list := s.watches[w]
-		for i, x := range list {
-			if x == c {
-				list[i] = list[len(list)-1]
-				s.watches[w] = list[:len(list)-1]
-				break
-			}
-		}
-	}
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -324,17 +444,22 @@ func (s *Solver) bumpVar(v int) {
 		}
 		s.varInc *= 1e-100
 	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
 }
 
 // analyze performs first-UIP conflict analysis and returns the learned
-// clause and the backtrack level.
+// clause and the backtrack level. Assumption decisions are never resolved
+// on (their reason is nil), so the learned clause is implied by the
+// clause database alone and stays valid for later Solve calls.
 func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 	learned := []Lit{0} // placeholder for the asserting literal
-	seen := make(map[int]bool)
 	counter := 0
 	var p Lit
 	c := conflict
 	idx := len(s.trail) - 1
+	var toClear []int
 	for {
 		if c.learned {
 			s.bumpClause(c)
@@ -344,8 +469,9 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 				continue
 			}
 			v := q.Var()
-			if !seen[v] && s.level[v] > 0 {
-				seen[v] = true
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				toClear = append(toClear, v)
 				s.bumpVar(v)
 				if s.level[v] >= s.decisionLevel() {
 					counter++
@@ -355,17 +481,20 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 			}
 		}
 		// Find next literal on trail to resolve on.
-		for !seen[s.trail[idx].Var()] {
+		for !s.seen[s.trail[idx].Var()] {
 			idx--
 		}
 		p = s.trail[idx]
-		seen[p.Var()] = false
+		s.seen[p.Var()] = false
 		counter--
 		idx--
 		if counter == 0 {
 			break
 		}
 		c = s.reason[p.Var()]
+	}
+	for _, v := range toClear {
+		s.seen[v] = false
 	}
 	learned[0] = p.Neg()
 	// Backtrack level: second-highest level in the clause.
@@ -389,6 +518,7 @@ func (s *Solver) backtrackTo(level int) {
 		s.phase[v] = s.assign[v]
 		s.assign[v] = lUndef
 		s.reason[v] = nil
+		s.heapInsert(v)
 	}
 	s.trail = s.trail[:limit]
 	s.trailLim = s.trailLim[:level]
@@ -396,13 +526,13 @@ func (s *Solver) backtrackTo(level int) {
 }
 
 func (s *Solver) pickBranchVar() int {
-	best, bestAct := 0, -1.0
-	for v := 1; v < len(s.assign); v++ {
-		if s.assign[v] == lUndef && s.activity[v] > bestAct {
-			best, bestAct = v, s.activity[v]
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assign[v] == lUndef {
+			return v
 		}
 	}
-	return best
+	return 0
 }
 
 // luby computes the Luby restart sequence value for index i (1-based).
@@ -420,57 +550,29 @@ func luby(i int64) int64 {
 // Solve determines satisfiability under the given assumption literals.
 // It returns Unknown when the step budget is exhausted.
 //
-// Assumption solving runs on a fresh internal solver seeded with the current
-// clause database plus the assumptions as unit clauses; the model (when Sat)
-// is copied back so Value/Model reflect the assumption run.
+// Assumptions are handled natively: each is decided (in order) at its own
+// decision level before any free decision, so the solver state — clause
+// database, learned clauses, activities, saved phases — is shared across
+// assumption solves and re-solves. When Sat, the model (reachable via
+// Value/Model) reflects the assumptions.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.unsatNow {
 		return Unsat
 	}
-	if len(assumptions) > 0 {
-		sub := New()
-		sub.Budget = s.Budget - s.steps
-		if s.Budget == 0 {
-			sub.Budget = 0
+	s.stats.Solves++
+	for _, a := range assumptions {
+		if a == 0 {
+			panic("sat: zero assumption literal")
 		}
-		for _, c := range s.clauses {
-			if c.learned {
-				continue
-			}
-			sub.AddClause(append([]Lit(nil), c.lits...)...)
-		}
-		for _, a := range assumptions {
-			sub.AddClause(a)
-		}
-		st := sub.Solve()
-		s.steps += sub.steps
-		s.stats.Decisions += sub.stats.Decisions
-		s.stats.Propagations += sub.stats.Propagations
-		s.stats.Conflicts += sub.stats.Conflicts
-		s.stats.Learned += sub.stats.Learned
-		s.stats.Restarts += sub.stats.Restarts
-		if st == Sat {
-			s.backtrackTo(0)
-			// Copy the model so Value() observes it.
-			s.ensureVar(sub.NumVars())
-			for v := 1; v <= sub.NumVars(); v++ {
-				s.assign[v] = sub.assign[v]
-			}
-			s.modelOverride = true
-		}
-		return st
+		s.ensureVar(a.Var())
 	}
-	s.modelOverride = false
 	s.backtrackTo(0)
 	// Replay propagation over the persistent level-0 trail so clauses
 	// added since the last call are taken into account.
 	s.qhead = 0
-	// Assert unit clauses at level 0.
-	for _, c := range s.clauses {
-		if len(c.lits) == 1 {
-			if !s.enqueue(c.lits[0], nil) {
-				return Unsat
-			}
+	for _, u := range s.units {
+		if !s.enqueue(u, nil) {
+			return Unsat
 		}
 	}
 	if s.propagate() != nil {
@@ -498,8 +600,12 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if len(learned) > 1 {
 				s.attach(c)
 				s.clauses = append(s.clauses, c)
+				s.learnedCnt++
 				s.enqueue(learned[0], c)
 			} else {
+				// A learned unit holds unconditionally at level 0; record
+				// it so later incremental solves replay it.
+				s.units = append(s.units, learned[0])
 				if !s.enqueue(learned[0], nil) {
 					return Unsat
 				}
@@ -512,7 +618,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if maxLearned <= 0 {
 				maxLearned = 8192
 			}
-			if int(s.stats.Learned) > 0 && s.learnedCount() > maxLearned {
+			if s.learnedCnt > maxLearned {
 				s.reduceDB()
 			}
 			continue
@@ -524,6 +630,26 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			conflictBudget = 100 * luby(restartNum)
 			conflictsHere = 0
 			s.backtrackTo(0)
+			continue
+		}
+		// Decide the next pending assumption before any free decision.
+		if lvl := s.decisionLevel(); lvl < len(assumptions) {
+			a := assumptions[lvl]
+			switch s.value(a) {
+			case lTrue:
+				// Already implied: open an empty level so the remaining
+				// assumptions keep their positional levels.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				// The clause database refutes this assumption.
+				s.backtrackTo(0)
+				return Unsat
+			default:
+				s.stats.Decisions++
+				s.steps++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(a, nil)
+			}
 			continue
 		}
 		v := s.pickBranchVar()
@@ -566,13 +692,5 @@ func (s *Solver) Stats() Stats { return s.stats }
 // learned clauses).
 func (s *Solver) NumClauses() int { return len(s.clauses) }
 
-// learnedCount counts currently retained learned clauses.
-func (s *Solver) learnedCount() int {
-	n := 0
-	for _, c := range s.clauses {
-		if c.learned {
-			n++
-		}
-	}
-	return n
-}
+// NumLearned returns the number of currently retained learned clauses.
+func (s *Solver) NumLearned() int { return s.learnedCnt }

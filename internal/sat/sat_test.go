@@ -386,3 +386,84 @@ func TestReduceDBOnRandomInstances(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalAddAfterSolve pins the incremental contract: AddClause is
+// legal after Solve, learned clauses survive, and later calls see the new
+// constraints.
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	s.AddClause(-1, 3)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("initial: %v", got)
+	}
+	s.AddClause(-3) // forces ¬1 via -1∨3, hence 2
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("after ¬3: %v", got)
+	}
+	if s.Value(3) || s.Value(1) || !s.Value(2) {
+		t.Fatalf("model after ¬3: 1=%v 2=%v 3=%v, want ¬1 2 ¬3", s.Value(1), s.Value(2), s.Value(3))
+	}
+	s.AddClause(-2)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after ¬2: %v", got)
+	}
+	// An Unsat verdict from permanent clauses is final.
+	if got := s.Solve(1); got != Unsat {
+		t.Fatalf("unsat core must stay unsat under assumptions: %v", got)
+	}
+}
+
+// TestIncrementalAgainstBruteForce interleaves clause additions and
+// assumption-based re-solves on one long-lived solver and cross-checks every
+// verdict against brute force over the clauses added so far (plus the
+// assumptions as pseudo-units).
+func TestIncrementalAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 120; iter++ {
+		nVars := 3 + r.Intn(7)
+		s := New()
+		var clauses [][]Lit
+		dead := false
+		for step := 0; step < 6; step++ {
+			for k := 1 + r.Intn(5); k > 0; k-- {
+				width := 1 + r.Intn(3)
+				var c []Lit
+				for j := 0; j < width; j++ {
+					l := Lit(1 + r.Intn(nVars))
+					if r.Intn(2) == 0 {
+						l = l.Neg()
+					}
+					c = append(c, l)
+				}
+				clauses = append(clauses, c)
+				s.AddClause(c...)
+			}
+			var assume []Lit
+			for j := 1 + r.Intn(2); j > 0; j-- {
+				l := Lit(1 + r.Intn(nVars))
+				if r.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				assume = append(assume, l)
+			}
+			withAssume := make([][]Lit, len(clauses), len(clauses)+len(assume))
+			copy(withAssume, clauses)
+			for _, l := range assume {
+				withAssume = append(withAssume, []Lit{l})
+			}
+			want := bruteForce(nVars, withAssume)
+			if dead {
+				want = Unsat // permanent clauses already contradictory
+			}
+			got := s.Solve(assume...)
+			if got != want {
+				t.Fatalf("iter %d step %d: solver=%v brute=%v clauses=%v assume=%v",
+					iter, step, got, want, clauses, assume)
+			}
+			if bruteForce(nVars, clauses) == Unsat {
+				dead = true
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -166,5 +167,61 @@ func TestEPRAgainstModelEnumeration(t *testing.T) {
 	}
 	if unsatChecked < 10 || satChecked < 10 {
 		t.Fatalf("thin coverage: %d unsat, %d sat checks", unsatChecked, satChecked)
+	}
+}
+
+// TestIncrementalMatchesFromScratch is the differential property test for
+// the incremental solver: solving base ∧ goal on a long-lived Incremental
+// (goal scoped behind a selector, core reused across goals) must agree
+// with a fresh from-scratch Solver on every goal. On the first goal — where
+// the two solvers see identical universes — the instantiation counts must
+// also be comparable: the incremental path may at most double the work
+// (base clauses and scoped clauses dedupe separately per selector), never
+// blow up asymptotically.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	lim := Limits{MaxInstantiations: 20000, MaxRounds: 4}
+	ctx := context.Background()
+	const iterations = 25
+	const goalsPerBase = 3
+	for iter := 0; iter < iterations; iter++ {
+		// Conjoining p(a) pins a non-empty constant universe so neither
+		// solver needs the $elem seed, keeping universes identical.
+		base := fol.And(fol.Pred("p", fol.Const("a")), randomEPR(r, 2, nil))
+		goals := make([]*fol.Formula, goalsPerBase)
+		for i := range goals {
+			goals[i] = randomEPR(r, 2, nil)
+		}
+
+		inc := NewIncremental(lim, FullGrounding)
+		if err := inc.AssertBase(base); err != nil {
+			t.Fatalf("iter %d: AssertBase: %v", iter, err)
+		}
+		for gi, goal := range goals {
+			fresh := NewSolver()
+			fresh.Limits = lim
+			fresh.Assert(base)
+			fresh.Assert(goal)
+			want := fresh.CheckSat()
+
+			got := inc.Solve(ctx, goal)
+			if got.Status != want.Status {
+				t.Fatalf("iter %d goal %d: incremental=%v fresh=%v\nbase: %s\ngoal: %s",
+					iter, gi, got.Status, want.Status, base, goals[gi])
+			}
+			if gi == 0 && want.Status != Unknown {
+				// First goal: same universe, so instantiation work must be
+				// comparable. fresh ≤ inc (shared dedup can only add the
+				// selector split) and inc ≤ 2·fresh + ε.
+				if got.Stats.Instantiations < want.Stats.Instantiations {
+					t.Fatalf("iter %d: incremental did less instantiation (%d) than fresh (%d)?",
+						iter, got.Stats.Instantiations, want.Stats.Instantiations)
+				}
+				if got.Stats.Instantiations > 2*want.Stats.Instantiations+4 {
+					t.Fatalf("iter %d: incremental instantiations %d not within 2x of fresh %d",
+						iter, got.Stats.Instantiations, want.Stats.Instantiations)
+				}
+			}
+		}
 	}
 }

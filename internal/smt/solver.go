@@ -2,9 +2,7 @@ package smt
 
 import (
 	"context"
-	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/fol"
@@ -81,7 +79,9 @@ type Stats struct {
 	Rounds int
 	// Atoms counts distinct ground atoms.
 	Atoms int
-	// SAT holds the boolean core's counters.
+	// SAT holds the boolean core's counters. For an Incremental solver the
+	// counters are cumulative over the core's lifetime, since the boolean
+	// core is shared across Solve calls.
 	SAT sat.Stats
 	// Elapsed is the wall-clock duration of the check. For a Result
 	// answered from a ResultCache (FromCache set) it is the lookup or
@@ -186,12 +186,6 @@ func (s *Solver) CheckSatAssumingCtx(ctx context.Context, assumptions ...*fol.Fo
 // canceledReason marks Unknown results caused by context cancellation.
 const canceledReason = "canceled"
 
-// atomInfo records a ground atom and its SAT variable.
-type atomInfo struct {
-	atom *fol.Formula
-	v    int
-}
-
 // check's result must be named: the deferred Elapsed stamp below writes
 // to the return slot after every early return in this long function.
 func (s *Solver) check(ctx context.Context, assumptions []*fol.Formula) (res Result) {
@@ -214,443 +208,43 @@ func (s *Solver) check(ctx context.Context, assumptions []*fol.Formula) (res Res
 		return res
 	}
 	placeholders := map[string]bool{}
-	conj := make([]*fol.Formula, len(all))
-	for i, f := range all {
+	for _, f := range all {
 		for _, u := range f.UninterpretedAtoms() {
 			placeholders[u] = true
 		}
-		conj[i] = f
 	}
 	for p := range placeholders {
 		res.Placeholders = append(res.Placeholders, p)
 	}
 	sort.Strings(res.Placeholders)
 
-	// Normalize: NNF -> prenex -> Skolemize -> clauses with implicitly
-	// universally quantified variables.
-	var clauses []fol.Clause
-	hasQuant := false
-	hasFuncs := false
-	for _, f := range conj {
-		cs, err := fol.ClausesOf(fol.Simplify(f))
-		if err != nil {
+	// Normalize into the interned core: NNF -> prenex -> Skolemize ->
+	// clauses with implicitly universally quantified variables, every term
+	// and atom hash-consed into the core's arena.
+	g := newGroundCore(s.Strategy, lim.MaxSatSteps)
+	for _, f := range all {
+		if err := g.addFormula(f, 0); err != nil {
 			res.Status = Unknown
 			res.Reason = "clausification failed: " + err.Error()
 			return res
 		}
-		clauses = append(clauses, cs...)
-	}
-	for _, c := range clauses {
-		for _, lit := range c {
-			if len(litFreeVars(lit)) > 0 {
-				hasQuant = true
-			}
-			for _, t := range lit.Atom.Terms {
-				if termHasApp(t) {
-					hasFuncs = true
-				}
-			}
-		}
-	}
-
-	// Ground term universe: constants from the clauses plus a default
-	// element (the domain is nonempty).
-	universe := collectConstants(clauses)
-	if len(universe) == 0 {
-		universe = []fol.Term{fol.Const("$elem")}
 	}
 
 	// Instantiation: ground the non-ground clauses under the selected
 	// strategy.
-	var ground []fol.Clause
-	var inst instStats
-	var complete bool
-	if s.Strategy == TriggerBased {
-		ground, inst, complete = triggerInstantiate(ctx, clauses, lim)
-	} else {
-		ground, inst, complete = s.instantiate(ctx, clauses, universe, lim, deadline)
-	}
+	var st callStats
+	g.instantiate(ctx, lim, deadline, &st)
+	res.Stats.Instantiations = st.count
+	res.Stats.Rounds = st.rounds
 	if ctx.Err() != nil {
 		res.Status = Unknown
 		res.Reason = canceledReason
-		res.Stats.Instantiations = inst.count
-		res.Stats.Rounds = inst.rounds
 		return res
 	}
-	res.Stats.Instantiations = inst.count
-	res.Stats.Rounds = inst.rounds
-	res.Stats.GroundClauses = len(ground)
-
-	// Boolean abstraction.
-	atoms := map[string]*atomInfo{}
-	nextVar := 0
-	core := sat.New()
-	core.Budget = lim.MaxSatSteps
-	varOf := func(a *fol.Formula) int {
-		key := a.String()
-		if info, ok := atoms[key]; ok {
-			return info.v
-		}
-		nextVar++
-		atoms[key] = &atomInfo{atom: a, v: nextVar}
-		return nextVar
-	}
-	for _, c := range ground {
-		lits := make([]sat.Lit, 0, len(c))
-		for _, lit := range c {
-			v := sat.Lit(varOf(lit.Atom))
-			if lit.Neg {
-				v = v.Neg()
-			}
-			lits = append(lits, v)
-		}
-		core.AddClause(lits...)
-	}
-	res.Stats.Atoms = len(atoms)
+	res.Stats.GroundClauses = g.groundClauses
+	res.Stats.Atoms = g.atomCount()
 
 	// DPLL(T) refinement loop.
-	for lemmas := 0; ; lemmas++ {
-		if ctx.Err() != nil {
-			res.Status = Unknown
-			res.Reason = canceledReason
-			res.Stats.SAT = core.Stats()
-			return res
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			res.Status = Unknown
-			res.Reason = "timeout"
-			res.Stats.SAT = core.Stats()
-			return res
-		}
-		if lemmas > lim.MaxTheoryLemmas {
-			res.Status = Unknown
-			res.Reason = "theory lemma budget exhausted"
-			res.Stats.SAT = core.Stats()
-			return res
-		}
-		switch core.Solve() {
-		case sat.Unsat:
-			res.Status = Unsat
-			res.Stats.SAT = core.Stats()
-			res.Stats.TheoryLemmas = lemmas
-			return res
-		case sat.Unknown:
-			res.Status = Unknown
-			res.Reason = "SAT step budget exhausted"
-			res.Stats.SAT = core.Stats()
-			res.Stats.TheoryLemmas = lemmas
-			return res
-		}
-		conflict, err := theoryConflict(atoms, core)
-		if err != nil {
-			res.Status = Unknown
-			res.Reason = err.Error()
-			res.Stats.SAT = core.Stats()
-			return res
-		}
-		if conflict == nil {
-			res.Stats.SAT = core.Stats()
-			res.Stats.TheoryLemmas = lemmas
-			// A model was found. It is definitive only when instantiation
-			// was complete for a fragment where grounding is exhaustive.
-			if hasQuant && (!complete || hasFuncs) {
-				res.Status = Unknown
-				res.Reason = "model found but quantifier instantiation incomplete"
-				return res
-			}
-			res.Status = Sat
-			res.Model = map[string]bool{}
-			for _, info := range atoms {
-				if info.atom.Op == fol.OpPred && len(info.atom.Terms) == 0 {
-					res.Model[info.atom.Pred] = core.Value(info.v)
-				}
-			}
-			return res
-		}
-		core.AddClause(conflict...)
-	}
-}
-
-// litFreeVars returns free variables of a literal's atom.
-func litFreeVars(l fol.Literal) []string { return fol.FreeVars(l.Atom) }
-
-func termHasApp(t fol.Term) bool {
-	if t.Kind == fol.TermApp {
-		return true
-	}
-	for _, a := range t.Args {
-		if termHasApp(a) {
-			return true
-		}
-	}
-	return false
-}
-
-func collectConstants(clauses []fol.Clause) []fol.Term {
-	seen := map[string]bool{}
-	var out []fol.Term
-	var walk func(t fol.Term)
-	walk = func(t fol.Term) {
-		switch t.Kind {
-		case fol.TermConst:
-			if !seen[t.Name] {
-				seen[t.Name] = true
-				out = append(out, t)
-			}
-		case fol.TermApp:
-			for _, a := range t.Args {
-				walk(a)
-			}
-		}
-	}
-	for _, c := range clauses {
-		for _, lit := range c {
-			for _, t := range lit.Atom.Terms {
-				walk(t)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-type instStats struct {
-	count  int
-	rounds int
-}
-
-// instantiate grounds non-ground clauses over the term universe. Skolem
-// functions applied to universe elements extend the universe for the next
-// round, up to the round budget — or until ctx is cancelled, since the
-// odometer enumeration is where a large encoding spends most of its time.
-// It reports whether instantiation reached a fixpoint (complete
-// grounding).
-func (s *Solver) instantiate(ctx context.Context, clauses []fol.Clause, universe []fol.Term, lim Limits, deadline time.Time) ([]fol.Clause, instStats, bool) {
-	var ground []fol.Clause
-	var nonGround []fol.Clause
-	for _, c := range clauses {
-		if clauseVars(c) == nil {
-			ground = append(ground, c)
-		} else {
-			nonGround = append(nonGround, c)
-		}
-	}
-	st := instStats{}
-	if len(nonGround) == 0 {
-		return ground, st, true
-	}
-	complete := true
-	seenClause := map[string]bool{}
-	termSeen := map[string]bool{}
-	for _, t := range universe {
-		termSeen[t.String()] = true
-	}
-	for round := 0; round < lim.MaxRounds; round++ {
-		st.rounds = round + 1
-		var newTerms []fol.Term
-		grew := false
-		for _, c := range nonGround {
-			vars := clauseVars(c)
-			// Odometer enumeration of index tuples: lazy, so huge tuple
-			// spaces cost nothing beyond the instantiation budget.
-			idxs := make([]int, len(vars))
-			for done := false; !done; done = advance(idxs, len(universe)) {
-				if st.count >= lim.MaxInstantiations {
-					complete = false
-					return ground, st, complete
-				}
-				if ctx.Err() != nil {
-					complete = false
-					return ground, st, complete
-				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
-					complete = false
-					return ground, st, complete
-				}
-				gc := make(fol.Clause, len(c))
-				for i, lit := range c {
-					atom := lit.Atom
-					for vi, v := range vars {
-						atom = fol.Subst(atom, v, universe[idxs[vi]])
-					}
-					gc[i] = fol.Literal{Neg: lit.Neg, Atom: atom}
-				}
-				key := clauseKey(gc)
-				if seenClause[key] {
-					continue
-				}
-				seenClause[key] = true
-				st.count++
-				ground = append(ground, gc)
-				// Harvest new ground terms (skolem applications).
-				for _, lit := range gc {
-					for _, t := range lit.Atom.Terms {
-						for _, sub := range groundSubterms(t) {
-							k := sub.String()
-							if !termSeen[k] {
-								termSeen[k] = true
-								newTerms = append(newTerms, sub)
-								grew = true
-							}
-						}
-					}
-				}
-			}
-		}
-		if !grew {
-			return ground, st, complete
-		}
-		universe = append(universe, newTerms...)
-		if round == lim.MaxRounds-1 {
-			complete = false
-		}
-	}
-	return ground, st, complete
-}
-
-func clauseVars(c fol.Clause) []string {
-	set := map[string]bool{}
-	for _, lit := range c {
-		for _, v := range fol.FreeVars(lit.Atom) {
-			set[v] = true
-		}
-	}
-	if len(set) == 0 {
-		return nil
-	}
-	out := make([]string, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func clauseKey(c fol.Clause) string {
-	parts := make([]string, len(c))
-	for i, l := range c {
-		parts[i] = l.String()
-	}
-	sort.Strings(parts)
-	return strings.Join(parts, "|")
-}
-
-// advance increments an odometer of k digits in base n; it reports true
-// when the odometer wraps (enumeration complete). A zero-length odometer
-// wraps immediately after its single (empty) tuple.
-func advance(idxs []int, n int) bool {
-	if len(idxs) == 0 || n == 0 {
-		return true
-	}
-	for i := len(idxs) - 1; i >= 0; i-- {
-		idxs[i]++
-		if idxs[i] < n {
-			return false
-		}
-		idxs[i] = 0
-	}
-	return true
-}
-
-// groundSubterms returns all ground subterms of t including t itself.
-func groundSubterms(t fol.Term) []fol.Term {
-	if len(fol.FreeVars(fol.Pred("$tmp", t))) > 0 {
-		// Contains a variable somewhere; recurse to find ground pieces.
-		var out []fol.Term
-		for _, a := range t.Args {
-			out = append(out, groundSubterms(a)...)
-		}
-		return out
-	}
-	out := []fol.Term{t}
-	for _, a := range t.Args {
-		out = append(out, groundSubterms(a)...)
-	}
-	return out
-}
-
-// theoryConflict checks the SAT model for EUF consistency. It returns a
-// blocking clause on conflict, nil when consistent.
-func theoryConflict(atoms map[string]*atomInfo, core *sat.Solver) ([]sat.Lit, error) {
-	cc := NewCC()
-	trueID := cc.AddConst("$T")
-	falseID := cc.AddConst("$F")
-	type diseq struct {
-		a, b int
-		lit  sat.Lit
-	}
-	var diseqs []diseq
-	var involved []sat.Lit
-
-	// Sort atoms for determinism.
-	keys := make([]string, 0, len(atoms))
-	for k := range atoms {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		info := atoms[k]
-		a := info.atom
-		val := core.Value(info.v)
-		lit := sat.Lit(info.v)
-		if !val {
-			lit = lit.Neg()
-		}
-		switch a.Op {
-		case fol.OpEq:
-			x, err := cc.AddTerm(a.Terms[0])
-			if err != nil {
-				return nil, err
-			}
-			y, err := cc.AddTerm(a.Terms[1])
-			if err != nil {
-				return nil, err
-			}
-			if val {
-				cc.Merge(x, y)
-			} else {
-				diseqs = append(diseqs, diseq{x, y, lit})
-			}
-			involved = append(involved, lit)
-		case fol.OpPred:
-			if len(a.Terms) == 0 {
-				continue // purely propositional
-			}
-			args := make([]int, len(a.Terms))
-			for i, t := range a.Terms {
-				id, err := cc.AddTerm(t)
-				if err != nil {
-					return nil, err
-				}
-				args[i] = id
-			}
-			app := cc.AddApp("p:"+a.Pred, args)
-			if val {
-				cc.Merge(app, trueID)
-			} else {
-				cc.Merge(app, falseID)
-			}
-			involved = append(involved, lit)
-		default:
-			return nil, fmt.Errorf("smt: non-atomic abstraction %s", a)
-		}
-	}
-	conflictFound := cc.Equal(trueID, falseID)
-	if !conflictFound {
-		for _, d := range diseqs {
-			if cc.Equal(d.a, d.b) {
-				conflictFound = true
-				break
-			}
-		}
-	}
-	if !conflictFound {
-		return nil, nil
-	}
-	// Naive explanation: block the entire theory-relevant assignment.
-	block := make([]sat.Lit, len(involved))
-	for i, l := range involved {
-		block[i] = l.Neg()
-	}
-	return block, nil
+	g.solveLoop(ctx, lim, deadline, &res, nil)
+	return res
 }

@@ -1,10 +1,6 @@
 package smt
 
 import (
-	"context"
-	"sort"
-	"strings"
-
 	"github.com/privacy-quagmire/quagmire/internal/fol"
 )
 
@@ -33,114 +29,11 @@ func (s InstStrategy) String() string {
 	return "full"
 }
 
-// triggerInstantiate grounds non-ground clauses by E-matching: for each
-// clause, the literal with the most variables is the trigger; its
-// predicate's ground occurrences donate substitutions. Rounds repeat while
-// new ground atoms appear, up to the budget or until ctx is cancelled.
-func triggerInstantiate(ctx context.Context, clauses []fol.Clause, lim Limits) ([]fol.Clause, instStats, bool) {
-	var ground []fol.Clause
-	var nonGround []fol.Clause
-	for _, c := range clauses {
-		if clauseVars(c) == nil {
-			ground = append(ground, c)
-		} else {
-			nonGround = append(nonGround, c)
-		}
-	}
-	st := instStats{}
-	if len(nonGround) == 0 {
-		return ground, st, true
-	}
-	seenClause := map[string]bool{}
-	complete := true
-
-	// atomIndex maps predicate symbol -> ground atoms seen.
-	atomIndex := map[string][]*fol.Formula{}
-	addGroundAtoms := func(c fol.Clause) {
-		for _, lit := range c {
-			if lit.Atom.Op == fol.OpPred && len(fol.FreeVars(lit.Atom)) == 0 {
-				atomIndex[lit.Atom.Pred] = append(atomIndex[lit.Atom.Pred], lit.Atom)
-			}
-		}
-	}
-	for _, c := range ground {
-		addGroundAtoms(c)
-	}
-
-	for round := 0; round < lim.MaxRounds; round++ {
-		st.rounds = round + 1
-		grew := false
-		for _, c := range nonGround {
-			trigger := pickTrigger(c)
-			if trigger == nil {
-				complete = false
-				continue
-			}
-			for _, candidate := range atomIndex[trigger.Pred] {
-				if st.count >= lim.MaxInstantiations {
-					return ground, st, false
-				}
-				if ctx.Err() != nil {
-					return ground, st, false
-				}
-				sub, ok := matchAtom(trigger, candidate)
-				if !ok {
-					continue
-				}
-				gc, fullyGround := applySubst(c, sub)
-				if !fullyGround {
-					// Leftover variables: clause has vars outside the
-					// trigger; incomplete but keep soundness by skipping.
-					complete = false
-					continue
-				}
-				key := clauseKey(gc)
-				if seenClause[key] {
-					continue
-				}
-				seenClause[key] = true
-				st.count++
-				ground = append(ground, gc)
-				addGroundAtoms(gc)
-				grew = true
-			}
-		}
-		if !grew {
-			break
-		}
-		if round == lim.MaxRounds-1 {
-			complete = false
-		}
-	}
-	// Trigger instantiation is never exhaustive over the universe, so a
-	// model over the instances does not imply satisfiability unless no
-	// quantified clause was skipped entirely.
-	return ground, st, complete && false
-}
-
-// pickTrigger selects the positive literal with the most variables (most
-// selective pattern); nil when the clause has no predicate literal with
-// all the clause's variables.
-func pickTrigger(c fol.Clause) *fol.Formula {
-	vars := clauseVars(c)
-	var best *fol.Formula
-	bestCover := -1
-	for _, lit := range c {
-		if lit.Atom.Op != fol.OpPred {
-			continue
-		}
-		cover := len(fol.FreeVars(lit.Atom))
-		if cover > bestCover {
-			best = lit.Atom
-			bestCover = cover
-		}
-	}
-	if best == nil || bestCover < len(vars) {
-		// The trigger must bind every variable of the clause.
-		return nil
-	}
-	return best
-}
+// The instantiation machinery itself lives in ground.go, operating on
+// arena-interned clauses (see groundCore.instantiate). The AST-level
+// matcher below remains as the reference implementation of E-matching
+// semantics; the interned fast path (fol.Arena.MatchAtom) must agree
+// with it.
 
 // matchAtom unifies a pattern atom (with variables) against a ground atom,
 // returning the substitution.
@@ -180,32 +73,4 @@ func matchTerm(pattern, ground fol.Term, sub map[string]fol.Term) bool {
 	default:
 		return false
 	}
-}
-
-// applySubst instantiates a clause; reports whether the result is ground.
-func applySubst(c fol.Clause, sub map[string]fol.Term) (fol.Clause, bool) {
-	// Deterministic order of substitution application.
-	vars := make([]string, 0, len(sub))
-	for v := range sub {
-		vars = append(vars, v)
-	}
-	sort.Strings(vars)
-	gc := make(fol.Clause, len(c))
-	groundAll := true
-	for i, lit := range c {
-		atom := lit.Atom
-		for _, v := range vars {
-			atom = fol.Subst(atom, v, sub[v])
-		}
-		if len(fol.FreeVars(atom)) > 0 {
-			groundAll = false
-		}
-		gc[i] = fol.Literal{Neg: lit.Neg, Atom: atom}
-	}
-	return gc, groundAll
-}
-
-// describeStrategy is used in Unknown reasons.
-func describeStrategy(s InstStrategy) string {
-	return strings.ToLower(s.String()) + " instantiation"
 }
