@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|table3|similarity|scaling|smt|incremental|contradictions|verdicts|smtlib|domains|wholepolicy|all
+//	experiments -exp table1|table2|table3|similarity|scaling|smt|incremental|contradictions|verdicts|smtlib|domains|wholepolicy|recovery|all
 package main
 
 import (
@@ -142,6 +142,15 @@ func run(exp string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderWholePolicy(rows))
+		fmt.Println()
+	}
+	if all || exp == "recovery" {
+		fmt.Println("== E12: policy store crash recovery (WAL replay + engine rebuild) ==")
+		rows, err := experiments.RecoverySweep(ctx, []int{1, 5, 10, 25, 50})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderRecovery(rows))
 		fmt.Println()
 	}
 	return nil

@@ -49,7 +49,6 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("quagmire", flag.ContinueOnError)
-	cacheDir := fs.String("cache", "", "directory for persisted intermediates")
 	maxInst := fs.Int("max-instantiations", 0, "SMT quantifier-instantiation budget (0 = default)")
 	workers := fs.Int("workers", 0, "extraction and batch-verification parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	stats := fs.Bool("stats", false, "print the per-phase metrics breakdown to stderr after the command")
@@ -62,7 +61,6 @@ func run(args []string) error {
 	}
 	ctx := context.Background()
 	cfg := quagmire.Config{
-		CacheDir:     *cacheDir,
 		SolverLimits: quagmire.SolverLimits{MaxInstantiations: *maxInst},
 		Workers:      *workers,
 	}
@@ -204,7 +202,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		p, err := core.New(core.Options{CacheDir: *cacheDir})
+		p, err := core.New(core.Options{})
 		if err != nil {
 			return err
 		}
@@ -236,7 +234,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		p, err := core.New(core.Options{CacheDir: *cacheDir})
+		p, err := core.New(core.Options{})
 		if err != nil {
 			return err
 		}
@@ -265,8 +263,7 @@ func run(args []string) error {
 			return err
 		}
 		p, err := core.New(core.Options{
-			CacheDir: *cacheDir,
-			Limits:   smt.Limits{MaxInstantiations: *maxInst},
+			Limits: smt.Limits{MaxInstantiations: *maxInst},
 		})
 		if err != nil {
 			return err
@@ -289,7 +286,7 @@ func run(args []string) error {
 		if len(rest) < 3 {
 			return fmt.Errorf("usage: quagmire explore <policy.txt> \"<query>\"")
 		}
-		a, err := analyzeCore(ctx, *cacheDir, *maxInst, rest[1])
+		a, err := analyzeCore(ctx, *maxInst, rest[1])
 		if err != nil {
 			return err
 		}
@@ -311,7 +308,7 @@ func run(args []string) error {
 		if len(rest) < 3 {
 			return fmt.Errorf("usage: quagmire explain <policy.txt> \"<query>\"")
 		}
-		a, err := analyzeCore(ctx, *cacheDir, *maxInst, rest[1])
+		a, err := analyzeCore(ctx, *maxInst, rest[1])
 		if err != nil {
 			return err
 		}
@@ -337,7 +334,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		p, err := core.New(core.Options{CacheDir: *cacheDir})
+		p, err := core.New(core.Options{})
 		if err != nil {
 			return err
 		}
@@ -412,14 +409,13 @@ func printStats(enabled bool, an *quagmire.Analyzer) {
 
 // analyzeCore analyzes a policy file through the internal pipeline,
 // exposing the raw Analysis for engine-level subcommands.
-func analyzeCore(ctx context.Context, cacheDir string, maxInst int, path string) (*core.Analysis, error) {
+func analyzeCore(ctx context.Context, maxInst int, path string) (*core.Analysis, error) {
 	text, err := readPolicy(path)
 	if err != nil {
 		return nil, err
 	}
 	p, err := core.New(core.Options{
-		CacheDir: cacheDir,
-		Limits:   smt.Limits{MaxInstantiations: maxInst},
+		Limits: smt.Limits{MaxInstantiations: maxInst},
 	})
 	if err != nil {
 		return nil, err

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	quagmired -addr :8080 [-cache DIR] [-max-instantiations N] [-preload]
+//	quagmired -addr :8080 [-data DIR] [-max-instantiations N] [-preload]
+//
+// With -data the policy store is durable: every policy version is logged
+// to DIR's write-ahead log before it is acknowledged, a restart recovers
+// the full registry (the log is replayed, query engines rebuilt), and a
+// clean shutdown compacts the log into a snapshot. Without -data policies
+// live in memory and die with the process.
 //
 // With -preload the bundled TikTak and MetaBook corpora are analyzed and
 // registered at startup, so the API is immediately explorable:
@@ -31,31 +37,48 @@ import (
 	"github.com/privacy-quagmire/quagmire/internal/corpus"
 	"github.com/privacy-quagmire/quagmire/internal/server"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
+	"github.com/privacy-quagmire/quagmire/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	cacheDir := flag.String("cache", "", "directory for persisted intermediates")
+	dataDir := flag.String("data", "", "directory for the durable policy store (empty = in-memory)")
 	maxInst := flag.Int("max-instantiations", 0, "SMT quantifier-instantiation budget (0 = default)")
 	preload := flag.Bool("preload", false, "analyze and register the bundled corpora at startup")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "quagmired ", log.LstdFlags)
-	if err := run(*addr, *cacheDir, *maxInst, *preload, logger); err != nil {
+	if err := run(*addr, *dataDir, *maxInst, *preload, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr, cacheDir string, maxInst int, preload bool, logger *log.Logger) error {
+func run(addr, dataDir string, maxInst int, preload bool, logger *log.Logger) error {
 	pipeline, err := core.New(core.Options{
-		CacheDir: cacheDir,
-		Limits:   smt.Limits{MaxInstantiations: maxInst},
+		Limits: smt.Limits{MaxInstantiations: maxInst},
 	})
 	if err != nil {
 		return err
 	}
+	var policyStore store.PolicyStore
+	if dataDir != "" {
+		disk, err := store.OpenDisk(dataDir, store.Options{Logger: logger, Obs: pipeline.Obs()})
+		if err != nil {
+			return fmt.Errorf("open policy store: %w", err)
+		}
+		policyStore = disk
+		// Close after graceful shutdown: compacts the WAL into a snapshot so
+		// the next start replays nothing. A crash skips this and recovers
+		// from the log instead.
+		defer func() {
+			if err := disk.Close(); err != nil {
+				logger.Printf("store close: %v", err)
+			}
+		}()
+	}
 	srv, err := server.New(server.Options{
 		Pipeline:     pipeline,
+		Store:        policyStore,
 		SolverLimits: smt.Limits{MaxInstantiations: maxInst},
 		Logger:       logger,
 	})

@@ -1,8 +1,8 @@
-// Package cache persists pipeline intermediates (segments, extractions,
-// graphs) as JSON files with atomic writes, enabling the paper's
-// incremental processing and stage-by-stage inspection ("all intermediate
-// representations are stored ... this allows inspection of each pipeline
-// stage").
+// Package cache is an atomic JSON file store: values are marshaled to
+// temp files and renamed into place, so readers never observe a partial
+// write. It is the snapshot substrate of the durable policy store
+// (internal/store), which compacts its write-ahead log into one
+// atomically-written snapshot document here.
 package cache
 
 import (

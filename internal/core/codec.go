@@ -1,0 +1,111 @@
+package core
+
+// Analysis codec: one self-describing envelope per analysis, replacing
+// the old per-company scatter of cache blobs. The envelope is versioned
+// so future schema changes can migrate old payloads instead of misreading
+// them, and it is the unit the policy store persists per version.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/privacy-quagmire/quagmire/internal/extract"
+	"github.com/privacy-quagmire/quagmire/internal/graph"
+	"github.com/privacy-quagmire/quagmire/internal/kg"
+)
+
+// CodecVersion is the current analysis envelope schema version. Decoders
+// accept any version up to this and migrate older layouts; payloads from
+// a newer build are rejected rather than misread.
+const CodecVersion = 1
+
+// analysisEnvelope is the serialized form of one Analysis.
+type analysisEnvelope struct {
+	// Codec is the schema version of this payload.
+	Codec int `json:"codec"`
+	// Extraction is the Phase 1 output (BySegment is rebuilt on decode).
+	Extraction *extract.Extraction `json:"extraction"`
+	// Company plus the three graph components are the Phase 2 output.
+	Company string           `json:"company"`
+	ED      *graph.Graph     `json:"ed"`
+	DataH   *graph.Hierarchy `json:"data_hierarchy"`
+	EntityH *graph.Hierarchy `json:"entity_hierarchy"`
+}
+
+// EncodeAnalysis serializes an analysis into the versioned envelope. The
+// query engine is derived state and is not serialized — decoding rebuilds
+// it.
+func EncodeAnalysis(a *Analysis) ([]byte, error) {
+	env := analysisEnvelope{
+		Codec:      CodecVersion,
+		Extraction: a.Extraction,
+		Company:    a.KG.Company,
+		ED:         a.KG.ED,
+		DataH:      a.KG.DataH,
+		EntityH:    a.KG.EntityH,
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode analysis: %w", err)
+	}
+	return data, nil
+}
+
+// decodeEnvelope parses and validates the envelope without building
+// derived state.
+func decodeEnvelope(data []byte) (*analysisEnvelope, error) {
+	var env analysisEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("core: decode analysis: %w", err)
+	}
+	if env.Codec < 1 || env.Codec > CodecVersion {
+		return nil, fmt.Errorf("core: analysis codec %d unsupported (max %d)", env.Codec, CodecVersion)
+	}
+	if env.Extraction == nil || env.ED == nil || env.DataH == nil || env.EntityH == nil {
+		return nil, fmt.Errorf("core: analysis payload incomplete")
+	}
+	rebuildBySegment(env.Extraction)
+	return &env, nil
+}
+
+// rebuildBySegment restores the non-serialized practice index.
+func rebuildBySegment(ex *extract.Extraction) {
+	ex.BySegment = map[string][]extract.Practice{}
+	for _, seg := range ex.Segments {
+		ex.BySegment[seg.ID] = nil
+	}
+	for _, pr := range ex.Practices {
+		ex.BySegment[pr.SegmentID] = append(ex.BySegment[pr.SegmentID], pr)
+	}
+}
+
+// DecodeAnalysis restores an encoded analysis and rebuilds its derived
+// state — the practice index and a query engine wired to this pipeline's
+// limits, workers, caches and metrics — so a restored policy answers
+// queries exactly like a freshly analyzed one.
+func (p *Pipeline) DecodeAnalysis(data []byte) (*Analysis, error) {
+	env, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	k := &kg.KnowledgeGraph{
+		Company: env.Company,
+		ED:      env.ED,
+		DataH:   env.DataH,
+		EntityH: env.EntityH,
+	}
+	a := &Analysis{Extraction: env.Extraction, KG: k}
+	a.Engine = p.newEngine(k)
+	return a, nil
+}
+
+// DecodeExtraction restores only the Phase 1 extraction from an encoded
+// analysis — enough for version diffing without rebuilding graphs or
+// engines.
+func DecodeExtraction(data []byte) (*extract.Extraction, error) {
+	env, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	return env.Extraction, nil
+}

@@ -1,7 +1,9 @@
 // Package core orchestrates the full three-phase pipeline of Algorithm 1:
 // Phase 1 representation extraction, Phase 2 hierarchical graph
 // construction, Phase 3 semantic query verification — over any llm.Client
-// and embedding model, with optional on-disk caching of intermediates.
+// and embedding model. Analyses serialize through a versioned codec
+// (EncodeAnalysis/DecodeAnalysis) so the policy store can persist full
+// version history and rebuild query engines after a restart.
 package core
 
 import (
@@ -9,7 +11,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/privacy-quagmire/quagmire/internal/cache"
 	"github.com/privacy-quagmire/quagmire/internal/embed"
 	"github.com/privacy-quagmire/quagmire/internal/extract"
 	"github.com/privacy-quagmire/quagmire/internal/kg"
@@ -32,8 +33,6 @@ type Options struct {
 	TaxonomyFilterThreshold float64
 	// Limits bounds the SMT solver for Phase 3.
 	Limits smt.Limits
-	// CacheDir, when non-empty, persists intermediates there.
-	CacheDir string
 	// Workers bounds both Phase 1 segment-extraction fan-out and Phase 3
 	// batch verification; 0 selects runtime.GOMAXPROCS(0), 1 forces
 	// sequential processing.
@@ -59,7 +58,6 @@ type Pipeline struct {
 	extractor  *extract.Extractor
 	kgBuilder  *kg.Builder
 	limits     smt.Limits
-	store      *cache.Store
 	workers    int
 	smtCache   *smt.ResultCache
 	obs        *obs.Registry
@@ -111,13 +109,6 @@ func New(opts Options) (*Pipeline, error) {
 		reg.CounterFunc("quagmire_smt_cache_suppressed_total", stat(func(s smt.CacheStats) float64 { return float64(s.Suppressed) }))
 		reg.CounterFunc("quagmire_smt_cache_evictions_total", stat(func(s smt.CacheStats) float64 { return float64(s.Evictions) }))
 		reg.GaugeFunc("quagmire_smt_cache_entries", stat(func(s smt.CacheStats) float64 { return float64(s.Entries) }))
-	}
-	if opts.CacheDir != "" {
-		store, err := cache.Open(opts.CacheDir)
-		if err != nil {
-			return nil, err
-		}
-		p.store = store
 	}
 	return p, nil
 }
@@ -181,11 +172,6 @@ func (p *Pipeline) Analyze(ctx context.Context, policy string) (*Analysis, error
 	p.obs.Histogram("quagmire_pipeline_phase_seconds", obs.TimeBuckets, "phase", "graph").ObserveSince(phase2)
 	a := &Analysis{Extraction: ex, KG: k}
 	a.Engine = p.newEngine(k)
-	if p.store != nil {
-		if err := p.persist(a); err != nil {
-			return nil, err
-		}
-	}
 	return a, nil
 }
 
@@ -210,11 +196,6 @@ func (p *Pipeline) Update(ctx context.Context, prev *Analysis, newPolicy string)
 	p.obs.Histogram("quagmire_pipeline_phase_seconds", obs.TimeBuckets, "phase", "graph").ObserveSince(phase2)
 	a := &Analysis{Extraction: ex, KG: k}
 	a.Engine = p.newEngine(k)
-	if p.store != nil {
-		if err := p.persist(a); err != nil {
-			return nil, diff, st, err
-		}
-	}
 	return a, diff, st, nil
 }
 
@@ -227,70 +208,4 @@ func (p *Pipeline) Ask(ctx context.Context, a *Analysis, q string) (*query.Resul
 // pipeline's worker pool and shared SMT result cache (Phase 3, batched).
 func (p *Pipeline) AskBatch(ctx context.Context, a *Analysis, queries []string) ([]query.BatchItem, error) {
 	return a.Engine.AskBatch(ctx, queries)
-}
-
-// LoadAnalysis restores a persisted analysis for the given company from
-// the pipeline's cache directory, rebuilding the query engine over the
-// stored graph — so a CLI or server restart does not re-run extraction.
-func (p *Pipeline) LoadAnalysis(company string) (*Analysis, error) {
-	if p.store == nil {
-		return nil, fmt.Errorf("core: no cache directory configured")
-	}
-	key := "analysis-" + sanitizeKey(company)
-	var ex extract.Extraction
-	if err := p.store.Load(key+"-extraction", &ex); err != nil {
-		return nil, err
-	}
-	// BySegment is not serialized; rebuild it from the practices.
-	ex.BySegment = map[string][]extract.Practice{}
-	for _, seg := range ex.Segments {
-		ex.BySegment[seg.ID] = nil
-	}
-	for _, pr := range ex.Practices {
-		ex.BySegment[pr.SegmentID] = append(ex.BySegment[pr.SegmentID], pr)
-	}
-	k := &kg.KnowledgeGraph{Company: ex.Company}
-	if err := p.store.Load(key+"-graph", &k.ED); err != nil {
-		return nil, err
-	}
-	if err := p.store.Load(key+"-data-hierarchy", &k.DataH); err != nil {
-		return nil, err
-	}
-	if err := p.store.Load(key+"-entity-hierarchy", &k.EntityH); err != nil {
-		return nil, err
-	}
-	a := &Analysis{Extraction: &ex, KG: k}
-	a.Engine = p.newEngine(k)
-	return a, nil
-}
-
-// persist saves the analysis intermediates under company-derived keys.
-func (p *Pipeline) persist(a *Analysis) error {
-	key := "analysis-" + sanitizeKey(a.Extraction.Company)
-	if err := p.store.Save(key+"-extraction", a.Extraction); err != nil {
-		return err
-	}
-	if err := p.store.Save(key+"-graph", a.KG.ED); err != nil {
-		return err
-	}
-	if err := p.store.Save(key+"-data-hierarchy", a.KG.DataH); err != nil {
-		return err
-	}
-	return p.store.Save(key+"-entity-hierarchy", a.KG.EntityH)
-}
-
-func sanitizeKey(s string) string {
-	out := make([]rune, 0, len(s))
-	for _, r := range s {
-		switch {
-		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
-			out = append(out, r)
-		default:
-			out = append(out, '_')
-		}
-	}
-	if len(out) == 0 {
-		return "policy"
-	}
-	return string(out)
 }

@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"github.com/privacy-quagmire/quagmire/internal/cache"
 	"github.com/privacy-quagmire/quagmire/internal/corpus"
 	"github.com/privacy-quagmire/quagmire/internal/query"
 )
@@ -32,37 +31,6 @@ func TestAnalyzeMiniPolicy(t *testing.T) {
 	}
 	if res.Verdict != query.Valid {
 		t.Errorf("verdict = %s", res.Verdict)
-	}
-}
-
-func TestAnalyzeWithCache(t *testing.T) {
-	dir := t.TempDir()
-	p, err := New(Options{CacheDir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := p.Analyze(context.Background(), corpus.Mini()); err != nil {
-		t.Fatal(err)
-	}
-	store, err := cache.Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	keys, err := store.Keys()
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []string{"analysis-Acme-extraction", "analysis-Acme-graph", "analysis-Acme-data-hierarchy", "analysis-Acme-entity-hierarchy"}
-	for _, w := range want {
-		found := false
-		for _, k := range keys {
-			if k == w {
-				found = true
-			}
-		}
-		if !found {
-			t.Errorf("cache missing %q (have %v)", w, keys)
-		}
 	}
 }
 
@@ -182,15 +150,6 @@ func TestTaxonomyFilterOption(t *testing.T) {
 	}
 }
 
-func TestSanitizeKey(t *testing.T) {
-	if got := sanitizeKey("Tik Tak/2"); got != "Tik_Tak_2" {
-		t.Errorf("sanitizeKey = %q", got)
-	}
-	if got := sanitizeKey(""); got != "policy" {
-		t.Errorf("sanitizeKey empty = %q", got)
-	}
-}
-
 func TestFullCorpusShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("corpus-scale test")
@@ -225,51 +184,5 @@ func TestFullCorpusShape(t *testing.T) {
 		if ratio < 2 || ratio > 5 {
 			t.Errorf("MetaBook/TikTak %s ratio = %.2f, want 2-5", name, ratio)
 		}
-	}
-}
-
-func TestLoadAnalysisFromCache(t *testing.T) {
-	dir := t.TempDir()
-	p, err := New(Options{CacheDir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	orig, err := p.Analyze(context.Background(), corpus.Mini())
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// A fresh pipeline (fresh LLM cache) over the same directory restores
-	// the analysis without re-extracting.
-	p2, err := New(Options{CacheDir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	loaded, err := p2.LoadAnalysis("Acme")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if loaded.Stats() != orig.Stats() {
-		t.Errorf("stats: %+v vs %+v", loaded.Stats(), orig.Stats())
-	}
-	if len(loaded.Extraction.BySegment) == 0 {
-		t.Error("BySegment not rebuilt")
-	}
-	// The rebuilt engine answers queries.
-	res, err := loaded.Engine.Ask(context.Background(), "Does Acme sell my personal information?")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Verdict != query.Invalid {
-		t.Errorf("verdict = %s", res.Verdict)
-	}
-	// Unknown company fails cleanly.
-	if _, err := p2.LoadAnalysis("Nobody"); err == nil {
-		t.Error("missing analysis should fail")
-	}
-	// No cache dir fails cleanly.
-	p3, _ := New(Options{})
-	if _, err := p3.LoadAnalysis("Acme"); err == nil {
-		t.Error("cacheless pipeline should fail to load")
 	}
 }

@@ -1,0 +1,146 @@
+package experiments
+
+// E12: restart recovery cost of the durable policy store. A disk store is
+// filled with N analyzed policies, abandoned without Close (crash
+// simulation — no snapshot, recovery must replay the whole WAL), then
+// reopened. The sweep reports WAL replay time and throughput separately
+// from the engine-rebuild time (decoding each policy's latest analysis and
+// wiring a fresh query engine), because the two scale differently: replay
+// is I/O + JSON decode over every logged version, rebuild is
+// per-policy graph reconstruction.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+// RecoveryRow is one point of the recovery sweep.
+type RecoveryRow struct {
+	// Policies is the number of stored policies (one version each).
+	Policies int
+	// WALBytes is the log size recovery replays.
+	WALBytes int64
+	// Replay is the store-open time: snapshot load + WAL replay.
+	Replay time.Duration
+	// Rebuild is the engine-rebuild time: decode every latest version and
+	// construct its query engine.
+	Rebuild time.Duration
+}
+
+// ThroughputMBs is the WAL replay rate in MB/s.
+func (r RecoveryRow) ThroughputMBs() float64 {
+	s := r.Replay.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.WALBytes) / (1 << 20) / s
+}
+
+// RecoverySweep measures crash recovery at each policy count.
+func RecoverySweep(ctx context.Context, policyCounts []int) ([]RecoveryRow, error) {
+	var rows []RecoveryRow
+	for _, n := range policyCounts {
+		row, err := recoverOnce(ctx, n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func recoverOnce(ctx context.Context, n int) (RecoveryRow, error) {
+	dir, err := os.MkdirTemp("", "quagmire-recovery")
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	p, err := core.New(core.Options{})
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	// Automatic compaction is disabled so every version stays in the WAL —
+	// the sweep measures pure log replay, not snapshot-load shortcuts.
+	st, err := store.OpenDisk(dir, store.Options{SnapshotThreshold: -1})
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	for i := 0; i < n; i++ {
+		text := corpus.Generate(corpus.Config{
+			Company: fmt.Sprintf("RecoverCo%d", i), Seed: int64(1000 + i),
+			PracticeStatements: 40, BoilerplateEvery: 4,
+			DataRichness: 60, EntityRichness: 40,
+		})
+		a, err := p.Analyze(ctx, text)
+		if err != nil {
+			return RecoveryRow{}, err
+		}
+		payload, err := core.EncodeAnalysis(a)
+		if err != nil {
+			return RecoveryRow{}, err
+		}
+		if _, err := st.Create("", store.Version{
+			VersionMeta: store.VersionMeta{Company: a.Extraction.Company},
+			Payload:     payload,
+		}); err != nil {
+			return RecoveryRow{}, err
+		}
+	}
+	// Crash: abandon st without Close. No snapshot is written, so the
+	// reopen below recovers from the WAL alone.
+	walBytes := st.Health().WALBytes
+
+	start := time.Now()
+	st2, err := store.OpenDisk(dir, store.Options{SnapshotThreshold: -1})
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	defer st2.Close()
+	replay := time.Since(start)
+
+	p2, err := core.New(core.Options{})
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	pols, err := st2.List()
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	if len(pols) != n {
+		return RecoveryRow{}, fmt.Errorf("recovered %d policies, want %d", len(pols), n)
+	}
+	start = time.Now()
+	for _, pol := range pols {
+		v, err := st2.Version(pol.ID, pol.Versions)
+		if err != nil {
+			return RecoveryRow{}, err
+		}
+		if _, err := p2.DecodeAnalysis(v.Payload); err != nil {
+			return RecoveryRow{}, err
+		}
+	}
+	rebuild := time.Since(start)
+
+	return RecoveryRow{Policies: n, WALBytes: walBytes, Replay: replay, Rebuild: rebuild}, nil
+}
+
+// RenderRecovery renders the sweep as a table.
+func RenderRecovery(rows []RecoveryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %12s %12s %12s\n", "Policies", "WAL KiB", "Replay", "Rebuild", "MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d %12.1f %12s %12s %12.1f\n",
+			r.Policies, float64(r.WALBytes)/1024,
+			r.Replay.Round(10*time.Microsecond), r.Rebuild.Round(10*time.Microsecond),
+			r.ThroughputMBs())
+	}
+	return b.String()
+}

@@ -104,6 +104,10 @@ func TestCompareReorderIsKept(t *testing.T) {
 	if len(d.Added) != 0 || len(d.Removed) != 0 {
 		t.Errorf("reorder should be all-kept: %+v", d)
 	}
+	// Pure reordering triggers zero re-extraction.
+	if d.ChangedFraction() != 0 {
+		t.Errorf("reorder fraction = %v, want 0", d.ChangedFraction())
+	}
 }
 
 func TestCompareEmptySides(t *testing.T) {
@@ -112,12 +116,63 @@ func TestCompareEmptySides(t *testing.T) {
 	if len(d.Added) != 1 || len(d.Kept) != 0 {
 		t.Errorf("from-nothing diff: %+v", d)
 	}
+	// A brand-new policy is 100% changed: everything re-extracts.
+	if d.ChangedFraction() != 1 {
+		t.Errorf("from-nothing fraction = %v, want 1", d.ChangedFraction())
+	}
 	d = Compare(segs, nil)
 	if len(d.Removed) != 1 {
 		t.Errorf("to-nothing diff: %+v", d)
 	}
 	if d.ChangedFraction() != 0 {
 		t.Errorf("empty new version fraction = %v", d.ChangedFraction())
+	}
+	d = Compare(nil, nil)
+	if len(d.Added)+len(d.Removed)+len(d.Kept) != 0 || d.ChangedFraction() != 0 {
+		t.Errorf("empty-both diff: %+v fraction %v", d, d.ChangedFraction())
+	}
+}
+
+// Duplicate statements share one content hash. Both duplicate instances in
+// the new version count as kept (each matches the old ID), and dropping
+// one of two duplicates removes nothing — the surviving instance still
+// covers the hash. This pins the identity semantics incremental
+// re-extraction depends on: a segment is its content, not its position or
+// multiplicity.
+func TestCompareDuplicateText(t *testing.T) {
+	one := Split("We collect cookies.")
+	two := Split("We collect cookies.\n\nWe collect cookies.")
+	if len(two) != 2 || two[0].ID != two[1].ID {
+		t.Fatalf("duplicate split: %+v", two)
+	}
+	if two[0].Index == two[1].Index {
+		t.Errorf("duplicates share an index: %+v", two)
+	}
+
+	d := Compare(one, two)
+	if len(d.Kept) != 2 || len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Errorf("duplicating a statement: +%d -%d =%d", len(d.Added), len(d.Removed), len(d.Kept))
+	}
+	if d.ChangedFraction() != 0 {
+		t.Errorf("duplicate fraction = %v, want 0", d.ChangedFraction())
+	}
+
+	d = Compare(two, one)
+	if len(d.Kept) != 1 || len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Errorf("deduplicating a statement: +%d -%d =%d", len(d.Added), len(d.Removed), len(d.Kept))
+	}
+}
+
+// ChangedFraction is |added| / (|added| + |kept|), pinned exactly.
+func TestChangedFractionExact(t *testing.T) {
+	old := Split("A stays one. B stays two. C stays three.")
+	new := Split("A stays one. B stays two. C stays three. D is new here.")
+	d := Compare(old, new)
+	if len(d.Added) != 1 || len(d.Kept) != 3 {
+		t.Fatalf("diff: +%d =%d", len(d.Added), len(d.Kept))
+	}
+	if got := d.ChangedFraction(); got != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", got)
 	}
 }
 

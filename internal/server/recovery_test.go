@@ -1,0 +1,154 @@
+package server
+
+// Differential restart tests: a disk-backed server is killed (simulated by
+// abandoning it without Close, so no snapshot is written) and a second
+// server opens the same data directory. Every externally observable
+// surface — policy list, per-version history, compliance verdicts — must
+// be identical before and after.
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+// diskServer opens dir with a fresh pipeline + disk store and serves it.
+// The store is intentionally NOT closed on cleanup — abandoning it models
+// a SIGKILL, leaving recovery entirely to the WAL.
+func diskServer(t *testing.T, dir string, logger *log.Logger) *httptest.Server {
+	t.Helper()
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenDisk(dir, store.Options{Logger: logger, Obs: p.Obs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Pipeline: p, Store: st, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// observe captures every restart-sensitive surface of the API as
+// rendered JSON: the policy list, each policy's version history, and
+// batch-query verdicts against each policy.
+func observe(t *testing.T, ts *httptest.Server, ids []string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	capture := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		var v any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		out, _ := json.Marshal(v)
+		buf.WriteString(path + " " + string(out) + "\n")
+	}
+	capture("/v1/policies")
+	for _, id := range ids {
+		capture("/v1/policies/" + id)
+		capture("/v1/policies/" + id + "/versions")
+	}
+	for _, id := range ids {
+		var out struct {
+			Results []struct {
+				Question string `json:"question"`
+				Verdict  string `json:"verdict"`
+			} `json:"results"`
+		}
+		resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/verify-batch",
+			map[string]any{"questions": []string{
+				"Does Acme sell my personal information?",
+				"Does Acme share my email address with advertising partners?",
+				"Does Acme collect my device identifiers?",
+			}}, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify-batch %s = %d", id, resp.StatusCode)
+		}
+		res, _ := json.Marshal(out.Results)
+		buf.WriteString(id + " verdicts " + string(res) + "\n")
+	}
+	return buf.String()
+}
+
+func TestServerRestartRecoversIdenticalState(t *testing.T) {
+	dir := t.TempDir()
+	ts1 := diskServer(t, dir, nil)
+
+	// Build state worth recovering: two same-company policies, one of them
+	// updated (so the store holds three versions across two policies).
+	a := createPolicy(t, ts1)["id"].(string)
+	b := createPolicy(t, ts1)["id"].(string)
+	updateMini(t, ts1, b)
+	ids := []string{a, b}
+
+	before := observe(t, ts1, ids)
+	ts1.Close() // the store is abandoned un-Closed: no snapshot, WAL only
+
+	ts2 := diskServer(t, dir, nil)
+	after := observe(t, ts2, ids)
+	if before != after {
+		t.Fatalf("state diverged across restart:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+
+	// The recovered server is not read-only: updates continue the version
+	// sequence and fresh creates continue the ID sequence.
+	out := updateMini(t, ts2, a)
+	if v := out["policy"].(map[string]any)["versions"].(float64); v != 2 {
+		t.Errorf("post-recovery update landed at version %v, want 2", v)
+	}
+	c := createPolicy(t, ts2)["id"].(string)
+	if c == a || c == b {
+		t.Errorf("post-recovery create reused ID %q", c)
+	}
+}
+
+func TestServerRestartSurvivesCorruptWALTail(t *testing.T) {
+	dir := t.TempDir()
+	ts1 := diskServer(t, dir, nil)
+	id := createPolicy(t, ts1)["id"].(string)
+	before := observe(t, ts1, []string{id})
+	ts1.Close()
+
+	// A torn final write: garbage bytes after the last intact record.
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x2a\x00\x00\x00torn")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var logBuf bytes.Buffer
+	ts2 := diskServer(t, dir, log.New(&logBuf, "", 0))
+	if !strings.Contains(logBuf.String(), "corrupt wal record") {
+		t.Errorf("no corruption warning logged; log:\n%s", logBuf.String())
+	}
+	after := observe(t, ts2, []string{id})
+	if before != after {
+		t.Fatalf("intact prefix not recovered:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}

@@ -1,10 +1,12 @@
 // Package server exposes the pipeline as a JSON HTTP API: policies are
 // uploaded and analyzed, queried for extraction statistics, edges and
 // vague conditions, verified against natural-language compliance queries,
-// and updated incrementally across versions. A raw SMT-LIB solving
-// endpoint exposes the built-in solver. The server is self-contained over
-// net/http (Go 1.22 pattern routing) with request logging, body-size
-// limits and JSON error envelopes.
+// and updated incrementally across versions. Policies and their full
+// version history live in a store.PolicyStore — with the disk backend the
+// server recovers every policy (and its query engine) across restarts. A
+// raw SMT-LIB solving endpoint exposes the built-in solver. The server is
+// self-contained over net/http (Go 1.22 pattern routing) with request
+// logging, body-size limits and JSON error envelopes.
 package server
 
 import (
@@ -27,6 +29,7 @@ import (
 	"github.com/privacy-quagmire/quagmire/internal/query"
 	"github.com/privacy-quagmire/quagmire/internal/report"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
+	"github.com/privacy-quagmire/quagmire/internal/store"
 )
 
 // MaxBodyBytes caps request bodies (policies can be large but bounded).
@@ -37,26 +40,24 @@ type Server struct {
 	pipeline *core.Pipeline
 	limits   smt.Limits
 	logger   *log.Logger
+	store    store.PolicyStore
 
 	// sem limits in-flight requests when non-nil.
 	sem chan struct{}
 
-	mu       sync.RWMutex
-	policies map[string]*policyEntry
-	nextID   int
+	// mu orders store mutations with live-engine installs: writers hold it
+	// across the store write and the live-map swap, readers across the
+	// store read and the live lookup, so the pair is always consistent.
+	mu   sync.RWMutex
+	live map[string]*liveAnalysis
 }
 
-type policyEntry struct {
-	ID       string    `json:"id"`
-	Name     string    `json:"name"`
-	Company  string    `json:"company"`
-	Created  time.Time `json:"created"`
-	Updated  time.Time `json:"updated"`
-	Versions int       `json:"versions"`
-
-	// analysis is swapped atomically under Server.mu on update; handlers
-	// must snapshot it (entry metadata included) under RLock and work on
-	// the snapshot — analyses themselves are immutable once published.
+// liveAnalysis is the in-memory face of a stored policy: the decoded
+// analysis of its latest version plus the version count it corresponds to
+// (the compare-and-swap token for updates). Analyses are immutable once
+// published — updates install a new liveAnalysis, never mutate one.
+type liveAnalysis struct {
+	version  int
 	analysis *core.Analysis
 }
 
@@ -64,6 +65,9 @@ type policyEntry struct {
 type Options struct {
 	// Pipeline runs the analyses; required.
 	Pipeline *core.Pipeline
+	// Store persists policies and version history; nil selects a fresh
+	// in-memory store (state dies with the process).
+	Store store.PolicyStore
 	// SolverLimits bounds the /v1/solve endpoint.
 	SolverLimits smt.Limits
 	// Logger receives request logs; nil disables logging.
@@ -73,21 +77,62 @@ type Options struct {
 	MaxConcurrent int
 }
 
-// New constructs a server.
+// New constructs a server. When the store already holds policies (a
+// disk-backed store after a restart) their latest versions are decoded and
+// their query engines rebuilt before the server accepts traffic.
 func New(opts Options) (*Server, error) {
 	if opts.Pipeline == nil {
 		return nil, fmt.Errorf("server: Options.Pipeline is required")
+	}
+	st := opts.Store
+	if st == nil {
+		st = store.NewMem(store.Options{Obs: opts.Pipeline.Obs()})
 	}
 	srv := &Server{
 		pipeline: opts.Pipeline,
 		limits:   opts.SolverLimits,
 		logger:   opts.Logger,
-		policies: map[string]*policyEntry{},
+		store:    st,
+		live:     map[string]*liveAnalysis{},
 	}
 	if opts.MaxConcurrent > 0 {
 		srv.sem = make(chan struct{}, opts.MaxConcurrent)
 	}
+	if err := srv.recoverLive(); err != nil {
+		return nil, err
+	}
 	return srv, nil
+}
+
+// recoverLive rebuilds the live map from the store: each policy's latest
+// version is decoded and gets a fresh query engine. Store recovery proper
+// (snapshot load + WAL replay) already happened when the store was opened;
+// this is the rebuild phase layered on top.
+func (s *Server) recoverLive() error {
+	start := time.Now()
+	pols, err := s.store.List()
+	if err != nil {
+		return fmt.Errorf("server: recover: %w", err)
+	}
+	for _, p := range pols {
+		v, err := s.store.Version(p.ID, p.Versions)
+		if err != nil {
+			return fmt.Errorf("server: recover %s: %w", p.ID, err)
+		}
+		a, err := s.pipeline.DecodeAnalysis(v.Payload)
+		if err != nil {
+			return fmt.Errorf("server: recover %s version %d: %w", p.ID, v.N, err)
+		}
+		s.live[p.ID] = &liveAnalysis{version: p.Versions, analysis: a}
+	}
+	if len(pols) > 0 {
+		elapsed := time.Since(start)
+		s.pipeline.Obs().Gauge("quagmire_store_recovery_seconds", "phase", "rebuild").Set(elapsed.Seconds())
+		if s.logger != nil {
+			s.logger.Printf("server: rebuilt %d policies from store in %s", len(pols), elapsed.Round(time.Millisecond))
+		}
+	}
+	return nil
 }
 
 // expvarRegistry is the registry the process-global "quagmire" expvar
@@ -122,6 +167,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/policies", s.handleListPolicies)
 	mux.HandleFunc("GET /v1/policies/{id}", s.handleGetPolicy)
 	mux.HandleFunc("PUT /v1/policies/{id}", s.handleUpdatePolicy)
+	mux.HandleFunc("GET /v1/policies/{id}/versions", s.handleVersions)
+	mux.HandleFunc("GET /v1/policies/{id}/versions/{n}", s.handleVersion)
+	mux.HandleFunc("GET /v1/policies/{id}/diff", s.handleDiff)
 	mux.HandleFunc("GET /v1/policies/{id}/edges", s.handleEdges)
 	mux.HandleFunc("GET /v1/policies/{id}/vague", s.handleVague)
 	mux.HandleFunc("POST /v1/policies/{id}/query", s.handleQuery)
@@ -207,11 +255,25 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// healthResponse is the GET /healthz payload: overall status plus the
+// store's self-report (backend kind, record counts, WAL size, writability
+// probe). A store that cannot accept writes makes the whole server
+// degraded — reads may still work, but a load balancer should drain it.
+type healthResponse struct {
+	Status   string       `json:"status"`
+	Policies int          `json:"policies"`
+	Store    store.Health `json:"store"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	n := len(s.policies)
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "policies": n})
+	h := s.store.Health()
+	resp := healthResponse{Status: "ok", Policies: h.Policies, Store: h}
+	code := http.StatusOK
+	if !h.OK() {
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // createPolicyRequest is the POST /v1/policies body.
@@ -235,14 +297,25 @@ type policyResponse struct {
 	Practices int       `json:"practices"`
 }
 
-// policyJSON renders a snapshot; e is a value copy so no lock is needed.
-func policyJSON(e policyEntry) policyResponse {
-	st := e.analysis.Stats()
+// policyJSON renders policy metadata plus the latest analysis's stats.
+func policyJSON(p store.Policy, a *core.Analysis) policyResponse {
+	st := a.Stats()
 	return policyResponse{
-		ID: e.ID, Name: e.Name, Company: e.Company,
-		Created: e.Created, Updated: e.Updated, Versions: e.Versions,
+		ID: p.ID, Name: p.Name, Company: p.Company,
+		Created: p.Created, Updated: p.Updated, Versions: p.Versions,
 		Nodes: st.Nodes, Edges: st.Edges, Entities: st.Entities,
-		DataTypes: st.DataTypes, Practices: len(e.analysis.Extraction.Practices),
+		DataTypes: st.DataTypes, Practices: len(a.Extraction.Practices),
+	}
+}
+
+// versionStats pins an analysis's shape into store metadata.
+func versionStats(a *core.Analysis) store.VersionStats {
+	st := a.Stats()
+	return store.VersionStats{
+		Nodes: st.Nodes, Edges: st.Edges, Entities: st.Entities,
+		DataTypes: st.DataTypes,
+		Segments:  len(a.Extraction.Segments),
+		Practices: len(a.Extraction.Practices),
 	}
 }
 
@@ -260,55 +333,73 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
 		return
 	}
+	payload, err := core.EncodeAnalysis(a)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode failed: %v", err)
+		return
+	}
+	v := store.Version{
+		VersionMeta: store.VersionMeta{Company: a.Extraction.Company, Stats: versionStats(a)},
+		Payload:     payload,
+	}
 	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("p%d", s.nextID)
-	name := req.Name
-	if name == "" {
-		name = a.Extraction.Company
+	pol, err := s.store.Create(req.Name, v)
+	if err == nil {
+		s.live[pol.ID] = &liveAnalysis{version: pol.Versions, analysis: a}
 	}
-	now := time.Now()
-	entry := &policyEntry{
-		ID: id, Name: name, Company: a.Extraction.Company,
-		Created: now, Updated: now, Versions: 1, analysis: a,
-	}
-	s.policies[id] = entry
-	snap := *entry
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, policyJSON(snap))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "store rejected policy: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, policyJSON(pol, a))
 }
 
 func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	snaps := make([]policyEntry, 0, len(s.policies))
-	for _, e := range s.policies {
-		snaps = append(snaps, *e)
+	pols, err := s.store.List()
+	out := make([]policyResponse, 0, len(pols))
+	for _, p := range pols {
+		if la := s.live[p.ID]; la != nil {
+			out = append(out, policyJSON(p, la.analysis))
+		}
 	}
 	s.mu.RUnlock()
-	out := make([]policyResponse, 0, len(snaps))
-	for _, e := range snaps {
-		out = append(out, policyJSON(e))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "store list failed: %v", err)
+		return
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	writeJSON(w, http.StatusOK, out)
 }
 
-// lookup returns a consistent snapshot (value copy) of the entry taken
-// under the read lock. Handlers work on the snapshot only: a concurrent
-// update swaps the stored analysis pointer, but never mutates a published
-// analysis, so snapshot reads are race-free without holding the lock.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (policyEntry, bool) {
+// policySnapshot is a consistent read of one policy: store metadata plus
+// the live analysis and the version count it was decoded from.
+type policySnapshot struct {
+	meta     store.Policy
+	version  int
+	analysis *core.Analysis
+}
+
+// lookup returns a consistent snapshot taken under the read lock. Handlers
+// work on the snapshot only: a concurrent update installs a new
+// liveAnalysis, but never mutates a published analysis, so snapshot reads
+// are race-free without holding the lock.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (policySnapshot, bool) {
 	id := r.PathValue("id")
 	s.mu.RLock()
-	e, ok := s.policies[id]
-	var snap policyEntry
+	la, ok := s.live[id]
+	var snap policySnapshot
 	if ok {
-		snap = *e
+		var err error
+		if snap.meta, err = s.store.Get(id); err != nil {
+			ok = false
+		}
+		snap.version, snap.analysis = la.version, la.analysis
 	}
 	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "policy %q not found", id)
-		return policyEntry{}, false
+		return policySnapshot{}, false
 	}
 	return snap, true
 }
@@ -318,7 +409,7 @@ func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, policyJSON(e))
+	writeJSON(w, http.StatusOK, policyJSON(e.meta, e.analysis))
 }
 
 // updatePolicyRequest is the PUT /v1/policies/{id} body.
@@ -352,34 +443,54 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	// Re-analysis runs outside the lock: Update never mutates the previous
 	// analysis, so concurrent readers keep querying the old version while
-	// the new one is built. The lock is held only for the pointer swap.
+	// the new one is built. The lock is held only for the store append and
+	// live-map swap; the store's compare-and-swap (against the version this
+	// update was computed from) rejects concurrent updates rather than
+	// silently dropping edits.
 	a, diff, st, err := s.pipeline.Update(r.Context(), e.analysis, req.Text)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
 		return
 	}
+	payload, err := core.EncodeAnalysis(a)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode failed: %v", err)
+		return
+	}
+	v := store.Version{
+		VersionMeta: store.VersionMeta{
+			Company: a.Extraction.Company,
+			Stats:   versionStats(a),
+			Diff: store.DiffStats{
+				SegmentsKept:    len(diff.Kept),
+				SegmentsAdded:   len(diff.Added),
+				SegmentsRemoved: len(diff.Removed),
+				EdgesAdded:      st.EdgesAdded,
+				EdgesRemoved:    st.EdgesRemoved,
+				NewTerms:        st.NewTerms,
+			},
+		},
+		Payload: payload,
+	}
 	s.mu.Lock()
-	live, ok := s.policies[e.ID]
-	if !ok {
-		s.mu.Unlock()
-		writeError(w, http.StatusNotFound, "policy %q not found", e.ID)
-		return
+	pol, serr := s.store.Append(e.meta.ID, e.version, v)
+	if serr == nil {
+		s.live[pol.ID] = &liveAnalysis{version: pol.Versions, analysis: a}
 	}
-	if live.analysis != e.analysis {
-		// Another update landed first; this one was computed against a
-		// stale version, so reject it rather than silently dropping edits.
-		s.mu.Unlock()
-		writeError(w, http.StatusConflict, "policy %q was updated concurrently; retry", e.ID)
-		return
-	}
-	live.analysis = a
-	live.Company = a.Extraction.Company
-	live.Updated = time.Now()
-	live.Versions++
-	snap := *live
 	s.mu.Unlock()
+	switch {
+	case errors.Is(serr, store.ErrConflict):
+		writeError(w, http.StatusConflict, "policy %q was updated concurrently; retry", e.meta.ID)
+		return
+	case errors.Is(serr, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, "policy %q not found", e.meta.ID)
+		return
+	case serr != nil:
+		writeError(w, http.StatusInternalServerError, "store rejected update: %v", serr)
+		return
+	}
 	writeJSON(w, http.StatusOK, updatePolicyResponse{
-		Policy:          policyJSON(snap),
+		Policy:          policyJSON(pol, a),
 		SegmentsKept:    len(diff.Kept),
 		SegmentsAdded:   len(diff.Added),
 		SegmentsRemoved: len(diff.Removed),
@@ -614,11 +725,11 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 	var out string
 	switch kind := r.URL.Query().Get("kind"); kind {
 	case "", "graph":
-		out = e.analysis.KG.ED.DOT(e.Company + " practices")
+		out = e.analysis.KG.ED.DOT(e.meta.Company + " practices")
 	case "data":
-		out = e.analysis.KG.DataH.DOT(e.Company + " data hierarchy")
+		out = e.analysis.KG.DataH.DOT(e.meta.Company + " data hierarchy")
 	case "entity":
-		out = e.analysis.KG.EntityH.DOT(e.Company + " entity hierarchy")
+		out = e.analysis.KG.EntityH.DOT(e.meta.Company + " entity hierarchy")
 	default:
 		writeError(w, http.StatusBadRequest, "unknown kind %q (graph|data|entity)", kind)
 		return

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+// updateMini PUTs an edited Mini policy (one added statement) and returns
+// the update response.
+func updateMini(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	edited := strings.Replace(corpus.Mini(),
+		"We collect device identifiers automatically.",
+		"We collect device identifiers and browsing history automatically.", 1)
+	var out map[string]any
+	resp := doJSON(t, "PUT", ts.URL+"/v1/policies/"+id,
+		map[string]string{"text": edited}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status = %d (%v)", resp.StatusCode, out)
+	}
+	return out
+}
+
+func TestVersionHistoryEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+	updateMini(t, ts, id)
+
+	var metas []map[string]any
+	resp := doJSON(t, "GET", ts.URL+"/v1/policies/"+id+"/versions", nil, &metas)
+	if resp.StatusCode != http.StatusOK || len(metas) != 2 {
+		t.Fatalf("versions = %d, %d entries", resp.StatusCode, len(metas))
+	}
+	if metas[0]["n"].(float64) != 1 || metas[1]["n"].(float64) != 2 {
+		t.Errorf("version numbers: %v %v", metas[0]["n"], metas[1]["n"])
+	}
+	// Version 1 has no diff (nothing preceded it); version 2 recorded the
+	// incremental change.
+	d1 := metas[0]["diff"].(map[string]any)
+	d2 := metas[1]["diff"].(map[string]any)
+	if d1["segments_added"].(float64) != 0 {
+		t.Errorf("v1 diff = %v", d1)
+	}
+	if d2["segments_added"].(float64) != 1 || d2["edges_added"].(float64) == 0 {
+		t.Errorf("v2 diff = %v", d2)
+	}
+	for _, m := range metas {
+		if m["stats"].(map[string]any)["edges"].(float64) == 0 {
+			t.Errorf("version %v has empty stats", m["n"])
+		}
+		if m["bytes"].(float64) == 0 {
+			t.Errorf("version %v has zero payload size", m["n"])
+		}
+	}
+
+	var one map[string]any
+	resp = doJSON(t, "GET", ts.URL+"/v1/policies/"+id+"/versions/2", nil, &one)
+	if resp.StatusCode != http.StatusOK || one["n"].(float64) != 2 {
+		t.Fatalf("version 2 = %d %v", resp.StatusCode, one)
+	}
+}
+
+func TestVersionEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+	for _, c := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/policies/nope/versions", http.StatusNotFound},
+		{"/v1/policies/" + id + "/versions/9", http.StatusNotFound},
+		{"/v1/policies/" + id + "/versions/zero", http.StatusBadRequest},
+		{"/v1/policies/" + id + "/diff?from=1&to=9", http.StatusNotFound},
+		{"/v1/policies/" + id + "/diff?from=x&to=1", http.StatusBadRequest},
+		{"/v1/policies/" + id + "/diff?to=1", http.StatusBadRequest},
+	} {
+		var out map[string]any
+		resp := doJSON(t, "GET", ts.URL+c.path, nil, &out)
+		if resp.StatusCode != c.want {
+			t.Errorf("GET %s = %d, want %d (%v)", c.path, resp.StatusCode, c.want, out)
+		}
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+	updateMini(t, ts, id)
+
+	var out struct {
+		From    int `json:"from"`
+		To      int `json:"to"`
+		Changes []struct {
+			DataType string `json:"data_type"`
+			Kind     string `json:"kind"`
+		} `json:"changes"`
+	}
+	resp := doJSON(t, "GET", ts.URL+"/v1/policies/"+id+"/diff?from=1&to=2", nil, &out)
+	if resp.StatusCode != http.StatusOK || out.From != 1 || out.To != 2 {
+		t.Fatalf("diff = %d %+v", resp.StatusCode, out)
+	}
+	found := false
+	for _, c := range out.Changes {
+		if c.Kind == "added" && c.DataType == "browsing history" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added practice not reported: %+v", out.Changes)
+	}
+	// The reverse diff sees the same practice as removed.
+	resp = doJSON(t, "GET", ts.URL+"/v1/policies/"+id+"/diff?from=2&to=1", nil, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reverse diff = %d", resp.StatusCode)
+	}
+	found = false
+	for _, c := range out.Changes {
+		if c.Kind == "removed" && c.DataType == "browsing history" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("removed practice not reported in reverse diff: %+v", out.Changes)
+	}
+}
+
+// TestSameCompanyPoliciesStayDistinct is the server-level regression for
+// the old company-keyed persistence: two uploads extracting the same
+// company name must remain two independent policies with independent
+// histories.
+func TestSameCompanyPoliciesStayDistinct(t *testing.T) {
+	ts := newTestServer(t)
+	a := createPolicy(t, ts)["id"].(string)
+	b := createPolicy(t, ts)["id"].(string)
+	if a == b {
+		t.Fatalf("both uploads got ID %q", a)
+	}
+	updateMini(t, ts, b)
+
+	var list []map[string]any
+	doJSON(t, "GET", ts.URL+"/v1/policies", nil, &list)
+	if len(list) != 2 {
+		t.Fatalf("list has %d policies", len(list))
+	}
+	byID := map[string]float64{}
+	for _, p := range list {
+		byID[p["id"].(string)] = p["versions"].(float64)
+	}
+	if byID[a] != 1 || byID[b] != 2 {
+		t.Errorf("versions: %v, want %s=1 %s=2", byID, a, b)
+	}
+}
+
+// unhealthyStore simulates a store whose disk stopped accepting writes.
+type unhealthyStore struct {
+	store.PolicyStore
+}
+
+func (u unhealthyStore) Health() store.Health {
+	h := u.PolicyStore.Health()
+	h.Writable = false
+	h.Detail = "probe failed: disk full"
+	return h
+}
+
+func TestHealthDegradedStoreReturns503(t *testing.T) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Pipeline: p,
+		Store:    unhealthyStore{store.NewMem(store.Options{})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out map[string]any
+	resp := doJSON(t, "GET", ts.URL+"/healthz", nil, &out)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if out["status"] != "degraded" {
+		t.Errorf("status field = %v", out["status"])
+	}
+	st := out["store"].(map[string]any)
+	if st["backend"] != "memory" || st["writable"] != false || st["detail"] == "" {
+		t.Errorf("store health = %v", st)
+	}
+}

@@ -1,0 +1,368 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/cache"
+)
+
+// snapshotKey is the cache.Store key the compacted state lives under.
+const snapshotKey = "store-snapshot"
+
+// snapshotCodec versions the snapshot schema so future layouts can
+// migrate old files instead of misreading them.
+const snapshotCodec = 1
+
+// defaultSnapshotThreshold compacts the WAL once it exceeds 4 MiB.
+const defaultSnapshotThreshold = 4 << 20
+
+// snapshotState is the serialized form of the whole store.
+type snapshotState struct {
+	Codec    int           `json:"codec"`
+	NextID   int           `json:"next_id"`
+	Policies []policyState `json:"policies"`
+}
+
+// Disk is the durable PolicyStore: a snapshot file plus an append-only
+// CRC-framed record log, both under one directory. Every mutation is
+// logged before it is applied; recovery loads the snapshot and replays
+// the log, truncating a corrupted tail at the last intact record.
+type Disk struct {
+	opts    Options
+	dir     string
+	walPath string
+	snap    *cache.Store
+
+	mu       sync.RWMutex
+	c        *core
+	wal      *os.File
+	walBytes int64
+	closed   bool
+	// lastErr is the most recent WAL write failure; it degrades Health
+	// until a subsequent write succeeds.
+	lastErr error
+}
+
+// OpenDisk opens (creating if needed) a durable store rooted at dir and
+// recovers its state: snapshot first, then WAL replay.
+func OpenDisk(dir string, opts Options) (*Disk, error) {
+	start := time.Now()
+	snap, err := cache.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %q: %w", dir, err)
+	}
+	d := &Disk{
+		opts:    opts,
+		dir:     dir,
+		walPath: filepath.Join(dir, "wal.log"),
+		snap:    snap,
+		c:       newCore(),
+	}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(d.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	d.wal = f
+	d.registerMetrics()
+	d.opts.Obs.Gauge("quagmire_store_recovery_seconds", "phase", "replay").Set(time.Since(start).Seconds())
+	p, v := d.c.counts()
+	d.opts.logf("store: recovered %d policies (%d versions) from %s in %s", p, v, dir, time.Since(start).Round(time.Millisecond))
+	return d, nil
+}
+
+// recover loads the snapshot and replays the WAL into the core.
+func (d *Disk) recover() error {
+	var st snapshotState
+	switch err := d.snap.Load(snapshotKey, &st); {
+	case err == nil:
+		if st.Codec > snapshotCodec {
+			return fmt.Errorf("store: snapshot codec %d is newer than supported %d", st.Codec, snapshotCodec)
+		}
+		for i := range st.Policies {
+			ps := st.Policies[i]
+			d.c.policies[ps.Meta.ID] = &ps
+		}
+		d.c.nextID = st.NextID
+	case errors.Is(err, cache.ErrNotFound):
+		// Fresh store.
+	default:
+		return err
+	}
+	f, err := os.Open(d.walPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	offset, records, corrupt, err := replayWAL(f, d.applyOp)
+	if err != nil {
+		return err
+	}
+	d.walBytes = offset
+	d.opts.Obs.Counter("quagmire_store_wal_replayed_records_total").Add(uint64(records))
+	if corrupt != nil {
+		d.opts.logf("store: %v; truncating log to %d bytes (%d records kept)", corrupt, offset, records)
+		d.opts.Obs.Counter("quagmire_store_wal_truncations_total").Inc()
+		if err := truncateWAL(d.walPath, offset); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyOp applies one replayed record to the core, preserving the logged
+// IDs and timestamps exactly.
+func (d *Disk) applyOp(op walOp) error {
+	switch op.Op {
+	case "create":
+		_, err := d.c.applyCreate(op.ID, op.Name, op.Version)
+		return err
+	case "append":
+		// expect -1: the CAS was settled when the record was logged.
+		_, err := d.c.applyAppend(op.ID, -1, op.Version)
+		return err
+	default:
+		return fmt.Errorf("store: unknown wal op %q", op.Op)
+	}
+}
+
+func (d *Disk) registerMetrics() {
+	d.opts.Obs.GaugeFunc("quagmire_store_wal_bytes", func() float64 {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+		return float64(d.walBytes)
+	})
+	d.opts.Obs.GaugeFunc("quagmire_store_policies", func() float64 {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+		p, _ := d.c.counts()
+		return float64(p)
+	})
+	d.opts.Obs.GaugeFunc("quagmire_store_versions", func() float64 {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+		_, v := d.c.counts()
+		return float64(v)
+	})
+}
+
+// log frames op, appends it to the WAL and syncs (unless NoSync). The
+// caller holds d.mu.
+func (d *Disk) log(op walOp) error {
+	n, err := appendWALRecord(d.wal, op)
+	if err == nil && !d.opts.NoSync {
+		err = d.wal.Sync()
+	}
+	if err != nil {
+		d.lastErr = err
+		return err
+	}
+	d.lastErr = nil
+	d.walBytes += int64(n)
+	return nil
+}
+
+// maybeCompact snapshots and resets the WAL when it exceeds the
+// threshold. The caller holds d.mu.
+func (d *Disk) maybeCompact() {
+	threshold := d.opts.SnapshotThreshold
+	if threshold == 0 {
+		threshold = defaultSnapshotThreshold
+	}
+	if threshold < 0 || d.walBytes < threshold {
+		return
+	}
+	if err := d.compactLocked(); err != nil {
+		// Compaction failure is not fatal — the WAL still holds the state —
+		// but it degrades health until a write path succeeds again.
+		d.lastErr = err
+		d.opts.logf("store: snapshot compaction failed: %v", err)
+	}
+}
+
+// compactLocked writes the snapshot atomically and truncates the WAL.
+// The caller holds d.mu.
+func (d *Disk) compactLocked() error {
+	defer d.opts.observe("snapshot", time.Now())
+	st := snapshotState{Codec: snapshotCodec, NextID: d.c.nextID}
+	for _, id := range sortedIDs(d.c.policies) {
+		st.Policies = append(st.Policies, *d.c.policies[id])
+	}
+	if err := d.snap.Save(snapshotKey, st); err != nil {
+		return err
+	}
+	if err := d.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: reset wal after snapshot: %w", err)
+	}
+	if _, err := d.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: rewind wal after snapshot: %w", err)
+	}
+	d.walBytes = 0
+	d.opts.Obs.Counter("quagmire_store_snapshots_total").Inc()
+	return nil
+}
+
+func sortedIDs(m map[string]*policyState) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	// Reuse the core's canonical ordering for deterministic snapshots.
+	tmp := &core{policies: m}
+	ids = ids[:0]
+	for _, p := range tmp.list() {
+		ids = append(ids, p.ID)
+	}
+	return ids
+}
+
+// Create implements PolicyStore.
+func (d *Disk) Create(name string, v Version) (Policy, error) {
+	defer d.opts.observe("create", time.Now())
+	v.Created = d.opts.clock()()
+	v.Bytes = len(v.Payload)
+	v.N = 1
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return Policy{}, ErrClosed
+	}
+	id := fmt.Sprintf("p%d", d.c.nextID+1)
+	if name == "" {
+		name = v.Company
+	}
+	if err := d.log(walOp{Op: "create", ID: id, Name: name, Version: v}); err != nil {
+		return Policy{}, err
+	}
+	meta, err := d.c.applyCreate(id, name, v)
+	if err != nil {
+		return Policy{}, err
+	}
+	d.maybeCompact()
+	return meta, nil
+}
+
+// Append implements PolicyStore.
+func (d *Disk) Append(id string, expect int, v Version) (Policy, error) {
+	defer d.opts.observe("append", time.Now())
+	if expect < 0 {
+		return Policy{}, fmt.Errorf("store: negative expected version %d", expect)
+	}
+	v.Created = d.opts.clock()()
+	v.Bytes = len(v.Payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return Policy{}, ErrClosed
+	}
+	// Settle the CAS before logging so a conflicting append never reaches
+	// the WAL.
+	st, ok := d.c.policies[id]
+	if !ok {
+		return Policy{}, fmt.Errorf("%w: policy %q", ErrNotFound, id)
+	}
+	if st.Meta.Versions != expect {
+		return Policy{}, fmt.Errorf("%w: policy %q at version %d, expected %d",
+			ErrConflict, id, st.Meta.Versions, expect)
+	}
+	v.N = expect + 1
+	if err := d.log(walOp{Op: "append", ID: id, Version: v}); err != nil {
+		return Policy{}, err
+	}
+	meta, err := d.c.applyAppend(id, expect, v)
+	if err != nil {
+		return Policy{}, err
+	}
+	d.maybeCompact()
+	return meta, nil
+}
+
+// Get implements PolicyStore.
+func (d *Disk) Get(id string) (Policy, error) {
+	defer d.opts.observe("get", time.Now())
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.c.get(id)
+}
+
+// List implements PolicyStore.
+func (d *Disk) List() ([]Policy, error) {
+	defer d.opts.observe("list", time.Now())
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.c.list(), nil
+}
+
+// Versions implements PolicyStore.
+func (d *Disk) Versions(id string) ([]VersionMeta, error) {
+	defer d.opts.observe("versions", time.Now())
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.c.versions(id)
+}
+
+// Version implements PolicyStore.
+func (d *Disk) Version(id string, n int) (Version, error) {
+	defer d.opts.observe("version", time.Now())
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.c.version(id, n)
+}
+
+// Health implements PolicyStore: counts plus a live disk-writability
+// probe, degraded by any unresolved WAL write failure.
+func (d *Disk) Health() Health {
+	d.mu.RLock()
+	p, v := d.c.counts()
+	walBytes := d.walBytes
+	lastErr := d.lastErr
+	closed := d.closed
+	d.mu.RUnlock()
+	h := Health{Backend: "disk", Policies: p, Versions: v, WALBytes: walBytes, Writable: true}
+	switch {
+	case closed:
+		h.Writable, h.Detail = false, "store closed"
+	case lastErr != nil:
+		h.Writable, h.Detail = false, lastErr.Error()
+	default:
+		if err := d.probe(); err != nil {
+			h.Writable, h.Detail = false, err.Error()
+		}
+	}
+	return h
+}
+
+// probe checks the directory is still writable by creating and removing a
+// scratch file.
+func (d *Disk) probe() error {
+	p := filepath.Join(d.dir, ".probe")
+	if err := os.WriteFile(p, []byte("ok"), 0o644); err != nil {
+		return fmt.Errorf("store: disk probe: %w", err)
+	}
+	return os.Remove(p)
+}
+
+// Close snapshots the state (so the next open replays no log) and closes
+// the WAL.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	snapErr := d.compactLocked()
+	closeErr := d.wal.Close()
+	return errors.Join(snapErr, closeErr)
+}

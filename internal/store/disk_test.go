@@ -1,0 +1,263 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/obs"
+)
+
+// reopen abandons d without closing it (simulating a killed process: the
+// WAL holds everything, no clean-shutdown snapshot) and opens a fresh
+// store over the same directory.
+func reopen(t *testing.T, dir string, opts Options) *Disk {
+	t.Helper()
+	d, err := OpenDisk(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// dumpState renders everything observable through the interface as JSON
+// (which also strips time.Time's in-process monotonic clock reading, so
+// pre-crash and post-recovery states compare equal).
+func dumpState(t *testing.T, s PolicyStore) string {
+	t.Helper()
+	out := map[string]any{}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["list"] = list
+	for _, p := range list {
+		vs, err := s.Versions(p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["versions:"+p.ID] = vs
+		for _, vm := range vs {
+			v, err := s.Version(p.ID, vm.N)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[fmt.Sprintf("payload:%s:%d", p.ID, vm.N)] = string(v.Payload)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestCrashRecoveryFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Create("pol", mkVersion("Acme", "v1-payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(p.ID, 1, mkVersion("Acme Corp", "v2-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("other", mkVersion("Bmax", "b1")); err != nil {
+		t.Fatal(err)
+	}
+	before := dumpState(t, d)
+
+	// No Close: the process "dies" and a new one recovers from the WAL.
+	d2 := reopen(t, dir, Options{})
+	after := dumpState(t, d2)
+	if before != after {
+		t.Errorf("recovered state differs:\nbefore: %s\nafter:  %s", before, after)
+	}
+	// ID assignment continues where the dead process left off.
+	p3, err := d2.Create("third", mkVersion("Cort", "c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ID != "p3" {
+		t.Errorf("post-recovery ID = %q, want p3", p3.ID)
+	}
+}
+
+func TestCleanShutdownSnapshotsAndEmptiesWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("pol", mkVersion("Acme", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	before := dumpState(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Errorf("wal after close: %v (size %d), want empty", err, fi.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotKey+".json")); err != nil {
+		t.Errorf("snapshot missing: %v", err)
+	}
+	d2 := reopen(t, dir, Options{})
+	if after := dumpState(t, d2); before != after {
+		t.Errorf("snapshot-recovered state differs")
+	}
+}
+
+func TestCorruptTrailingRecordTruncatedWithWarning(t *testing.T) {
+	for name, corruptor := range map[string]func(intact []byte) []byte{
+		// A torn append: header promises more bytes than exist.
+		"torn-record": func(intact []byte) []byte {
+			return append(append([]byte{}, intact...), 0xFF, 0x00, 0x00, 0x00, 0x12, 0x34, 0x56, 0x78, 'x', 'y')
+		},
+		// A flipped bit in the final record's payload fails the CRC.
+		"bit-flip": func(intact []byte) []byte {
+			return append(append([]byte{}, intact[:len(intact)-1]...), intact[len(intact)-1]^0x01)
+		},
+		// Garbage after the valid prefix.
+		"garbage-tail": func(intact []byte) []byte {
+			return append(append([]byte{}, intact...), []byte("not a wal record")...)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := OpenDisk(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Create("pol", mkVersion("Acme", "v1")); err != nil {
+				t.Fatal(err)
+			}
+			before := dumpState(t, d)
+			// Abandon d without Close (no snapshot), then damage the log.
+			walPath := filepath.Join(dir, "wal.log")
+			intact, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(walPath, corruptor(intact), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var logBuf bytes.Buffer
+			d2, err := OpenDisk(dir, Options{Logger: log.New(&logBuf, "", 0)})
+			if err != nil {
+				t.Fatalf("recovery must not fail on a corrupt tail: %v", err)
+			}
+			defer d2.Close()
+			if !bytes.Contains(logBuf.Bytes(), []byte("corrupt wal record")) {
+				t.Errorf("no corruption warning logged: %q", logBuf.String())
+			}
+			if name == "bit-flip" {
+				// The sole record was damaged: nothing survives.
+				list, _ := d2.List()
+				if len(list) != 0 {
+					t.Errorf("bit-flipped record replayed: %+v", list)
+				}
+				return
+			}
+			if after := dumpState(t, d2); before != after {
+				t.Errorf("intact prefix not preserved")
+			}
+			// The file itself was truncated back to the intact prefix.
+			fixed, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fixed, intact) {
+				t.Errorf("wal not truncated to intact prefix: %d bytes vs %d", len(fixed), len(intact))
+			}
+		})
+	}
+}
+
+func TestSnapshotCompactionThreshold(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{SnapshotThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := d.Create("pol", mkVersion("Acme", "some payload long enough to trip the threshold quickly")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotKey+".json")); err != nil {
+		t.Fatalf("no snapshot despite threshold: %v", err)
+	}
+	d.mu.RLock()
+	walBytes := d.walBytes
+	d.mu.RUnlock()
+	if walBytes >= 6*60 {
+		t.Errorf("wal never compacted: %d bytes", walBytes)
+	}
+	// Everything is still there across snapshot+wal recovery.
+	d2 := reopen(t, dir, Options{})
+	list, err := d2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 6 {
+		t.Errorf("recovered %d policies, want 6", len(list))
+	}
+}
+
+func TestRecoveryMetrics(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("pol", mkVersion("Acme", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close; reopen with a registry and check the replay
+	// counters landed.
+	reg := obs.NewRegistry()
+	d2 := reopen(t, dir, Options{Obs: reg})
+	if _, err := d2.Create("pol2", mkVersion("Bmax", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters["quagmire_store_wal_replayed_records_total"]; n < 1 {
+		t.Errorf("replayed records counter = %d, want >= 1", n)
+	}
+	if _, ok := snap.Gauges[`quagmire_store_recovery_seconds{phase="replay"}`]; !ok {
+		t.Errorf("recovery gauge missing: %v", snap.Gauges)
+	}
+	if b := snap.Gauges["quagmire_store_wal_bytes"]; b <= 0 {
+		t.Errorf("wal bytes gauge = %v, want > 0", b)
+	}
+	if n := snap.Counters[`quagmire_store_ops_total{op="create"}`]; n != 1 {
+		t.Errorf("create op counter = %d, want 1", n)
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("pol", mkVersion("Acme", "v1")); err == nil {
+		t.Error("create after close succeeded")
+	}
+	h := d.Health()
+	if h.OK() {
+		t.Error("closed store reports healthy")
+	}
+}

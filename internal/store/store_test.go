@@ -1,0 +1,299 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// backends enumerates the PolicyStore implementations under a shared
+// conformance suite.
+func backends(t *testing.T) map[string]func(t *testing.T) PolicyStore {
+	return map[string]func(t *testing.T) PolicyStore{
+		"memory": func(t *testing.T) PolicyStore { return NewMem(Options{}) },
+		"disk": func(t *testing.T) PolicyStore {
+			d, err := OpenDisk(t.TempDir(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+	}
+}
+
+func mkVersion(company, payload string) Version {
+	return Version{
+		VersionMeta: VersionMeta{
+			Company: company,
+			Stats:   VersionStats{Nodes: 3, Edges: 2, Segments: 4, Practices: 2},
+		},
+		Payload: []byte(payload),
+	}
+}
+
+func TestCreateAssignsSequentialIDs(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			a, err := s.Create("first", mkVersion("Acme", "v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Create("second", mkVersion("Bmax", "v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.ID != "p1" || b.ID != "p2" {
+				t.Errorf("IDs = %q, %q, want p1, p2", a.ID, b.ID)
+			}
+			if a.Versions != 1 || a.Company != "Acme" || a.Name != "first" {
+				t.Errorf("meta = %+v", a)
+			}
+			if a.Created.IsZero() || !a.Created.Equal(a.Updated) {
+				t.Errorf("timestamps = %v / %v", a.Created, a.Updated)
+			}
+		})
+	}
+}
+
+func TestCreateDefaultsNameToCompany(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			p, err := s.Create("", mkVersion("Acme", "v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name != "Acme" {
+				t.Errorf("name = %q", p.Name)
+			}
+		})
+	}
+}
+
+func TestAppendCompareAndSwap(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			p, err := s.Create("pol", mkVersion("Acme", "v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := s.Append(p.ID, 1, mkVersion("Acme Corp", "v2"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p2.Versions != 2 || p2.Company != "Acme Corp" {
+				t.Errorf("after append: %+v", p2)
+			}
+			// A second append against the stale version must CAS-fail.
+			if _, err := s.Append(p.ID, 1, mkVersion("Acme", "v2b")); !errors.Is(err, ErrConflict) {
+				t.Errorf("stale append err = %v, want ErrConflict", err)
+			}
+			// The conflicting payload must not have been stored.
+			vs, err := s.Versions(p.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vs) != 2 {
+				t.Errorf("versions = %d, want 2", len(vs))
+			}
+			if _, err := s.Append("nope", 1, mkVersion("X", "v")); !errors.Is(err, ErrNotFound) {
+				t.Errorf("missing policy err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestVersionHistoryRoundTrip(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			p, err := s.Create("pol", mkVersion("Acme", "payload-1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2 := mkVersion("Acme", "payload-2")
+			v2.Diff = DiffStats{SegmentsAdded: 3, EdgesAdded: 5, NewTerms: 1}
+			if _, err := s.Append(p.ID, 1, v2); err != nil {
+				t.Fatal(err)
+			}
+			vs, err := s.Versions(p.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vs) != 2 || vs[0].N != 1 || vs[1].N != 2 {
+				t.Fatalf("versions = %+v", vs)
+			}
+			if vs[1].Diff.SegmentsAdded != 3 || vs[1].Diff.EdgesAdded != 5 {
+				t.Errorf("diff = %+v", vs[1].Diff)
+			}
+			if vs[0].Bytes != len("payload-1") {
+				t.Errorf("bytes = %d", vs[0].Bytes)
+			}
+			got, err := s.Version(p.ID, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got.Payload) != "payload-1" {
+				t.Errorf("payload = %q", got.Payload)
+			}
+			if _, err := s.Version(p.ID, 3); !errors.Is(err, ErrNotFound) {
+				t.Errorf("missing version err = %v", err)
+			}
+			if _, err := s.Version(p.ID, 0); !errors.Is(err, ErrNotFound) {
+				t.Errorf("version 0 err = %v", err)
+			}
+		})
+	}
+}
+
+func TestListSortsNumerically(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			for i := 0; i < 12; i++ {
+				if _, err := s.Create(fmt.Sprintf("pol%d", i), mkVersion("Acme", "v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			list, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(list) != 12 {
+				t.Fatalf("list = %d", len(list))
+			}
+			// p10 must sort after p9, not between p1 and p2.
+			for i, p := range list {
+				if want := fmt.Sprintf("p%d", i+1); p.ID != want {
+					t.Errorf("list[%d] = %q, want %q", i, p.ID, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSameCompanyPoliciesDoNotClobber(t *testing.T) {
+	// Regression for the sanitizeKey collision bug: the old cache persisted
+	// analyses under sanitized company names, so "Acme Inc" and "Acme-Inc"
+	// (both -> "Acme_Inc") silently overwrote each other. ID-keyed storage
+	// must keep same-named-company policies fully independent.
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			a, err := s.Create("a", mkVersion("Acme Inc", "payload-A"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Create("b", mkVersion("Acme-Inc", "payload-B"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.ID == b.ID {
+				t.Fatalf("same ID %q for distinct policies", a.ID)
+			}
+			// Updating one must not leak into the other.
+			if _, err := s.Append(b.ID, 1, mkVersion("Acme-Inc", "payload-B2")); err != nil {
+				t.Fatal(err)
+			}
+			va, err := s.Version(a.ID, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(va.Payload) != "payload-A" {
+				t.Errorf("policy A payload clobbered: %q", va.Payload)
+			}
+			if ma, _ := s.Get(a.ID); ma.Versions != 1 {
+				t.Errorf("policy A versions = %d, want 1", ma.Versions)
+			}
+		})
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			if _, err := s.Get("p1"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("err = %v", err)
+			}
+			if _, err := s.Versions("p1"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestHealthCounts(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			p, err := s.Create("pol", mkVersion("Acme", "v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Append(p.ID, 1, mkVersion("Acme", "v2")); err != nil {
+				t.Fatal(err)
+			}
+			h := s.Health()
+			if !h.OK() {
+				t.Errorf("health degraded: %+v", h)
+			}
+			if h.Policies != 1 || h.Versions != 2 {
+				t.Errorf("counts = %d policies / %d versions", h.Policies, h.Versions)
+			}
+			if name == "disk" && h.WALBytes == 0 {
+				t.Error("disk backend reports zero WAL bytes after writes")
+			}
+		})
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	fixed := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	s := NewMem(Options{Clock: func() time.Time { return fixed }})
+	p, err := s.Create("pol", mkVersion("Acme", "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Created.Equal(fixed) {
+		t.Errorf("created = %v", p.Created)
+	}
+}
+
+func TestConcurrentAppendsOneWinner(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			p, err := s.Create("pol", mkVersion("Acme", "v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const racers = 8
+			errs := make(chan error, racers)
+			for i := 0; i < racers; i++ {
+				go func(i int) {
+					_, err := s.Append(p.ID, 1, mkVersion("Acme", fmt.Sprintf("racer-%d", i)))
+					errs <- err
+				}(i)
+			}
+			wins := 0
+			for i := 0; i < racers; i++ {
+				if err := <-errs; err == nil {
+					wins++
+				} else if !errors.Is(err, ErrConflict) {
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+			if wins != 1 {
+				t.Errorf("winners = %d, want exactly 1", wins)
+			}
+			if meta, _ := s.Get(p.ID); meta.Versions != 2 {
+				t.Errorf("versions = %d, want 2", meta.Versions)
+			}
+		})
+	}
+}

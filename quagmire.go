@@ -79,9 +79,6 @@ type Config struct {
 	TaxonomyFilterThreshold float64
 	// SolverLimits bounds Phase 3 verification.
 	SolverLimits SolverLimits
-	// CacheDir, when non-empty, persists intermediates as JSON under this
-	// directory.
-	CacheDir string
 	// Workers bounds Phase 1 segment-extraction fan-out and Phase 3 batch
 	// verification; 0 selects runtime.GOMAXPROCS(0), 1 forces sequential
 	// processing.
@@ -105,7 +102,6 @@ func New(cfg Config) (*Analyzer, error) {
 		Client:                  cfg.Model,
 		TaxonomyFilterThreshold: cfg.TaxonomyFilterThreshold,
 		Limits:                  cfg.SolverLimits,
-		CacheDir:                cfg.CacheDir,
 		Workers:                 cfg.Workers,
 		SharedSolverCore:        cfg.SharedSolverCore,
 	})
