@@ -39,7 +39,12 @@ func (s *Store) path(key string) (string, error) {
 	return filepath.Join(s.dir, key+".json"), nil
 }
 
-// Save marshals v as JSON and writes it atomically under key.
+// Save marshals v as JSON and writes it durably and atomically under
+// key: the temp file is fsynced before the rename and the directory is
+// fsynced after, so a host crash leaves either the old value or the new
+// one — never a partial or empty file. The store snapshot path depends
+// on this: the WAL is truncated right after the snapshot is saved, so a
+// snapshot that only lives in the page cache would mean losing both.
 func (s *Store) Save(key string, v any) error {
 	p, err := s.path(key)
 	if err != nil {
@@ -50,12 +55,37 @@ func (s *Store) Save(key string, v any) error {
 		return fmt.Errorf("cache: marshal %q: %w", key, err)
 	}
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("cache: write %q: %w", key, err)
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: write %q: %w", key, werr)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("cache: commit %q: %w", key, err)
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs the directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("cache: sync dir: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("cache: sync dir: %w", err)
 	}
 	return nil
 }

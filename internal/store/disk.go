@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -24,9 +25,22 @@ const defaultSnapshotThreshold = 4 << 20
 
 // snapshotState is the serialized form of the whole store.
 type snapshotState struct {
-	Codec    int           `json:"codec"`
+	Codec int `json:"codec"`
+	// Seq is the WAL sequence number the snapshot was taken at; replay
+	// skips records at or below it, so a snapshot whose WAL truncation
+	// never completed (crash mid-compaction) replays cleanly.
+	Seq      uint64        `json:"seq"`
 	NextID   int           `json:"next_id"`
 	Policies []policyState `json:"policies"`
+}
+
+// walFile is the WAL's file handle. *os.File satisfies it; tests
+// substitute failure-injecting wrappers.
+type walFile interface {
+	io.Writer
+	Truncate(size int64) error
+	Sync() error
+	Close() error
 }
 
 // Disk is the durable PolicyStore: a snapshot file plus an append-only
@@ -41,12 +55,19 @@ type Disk struct {
 
 	mu       sync.RWMutex
 	c        *core
-	wal      *os.File
+	wal      walFile
 	walBytes int64
-	closed   bool
+	// seq is the sequence number of the last durable WAL record (or the
+	// snapshot watermark right after recovery/compaction).
+	seq    uint64
+	closed bool
 	// lastErr is the most recent WAL write failure; it degrades Health
 	// until a subsequent write succeeds.
 	lastErr error
+	// failed is set when a torn WAL frame could not be rolled back; the
+	// store then refuses all further writes (reads stay available) so no
+	// acknowledged write can land beyond an unparseable tail.
+	failed error
 }
 
 // OpenDisk opens (creating if needed) a durable store rooted at dir and
@@ -92,6 +113,7 @@ func (d *Disk) recover() error {
 			d.c.policies[ps.Meta.ID] = &ps
 		}
 		d.c.nextID = st.NextID
+		d.seq = st.Seq
 	case errors.Is(err, cache.ErrNotFound):
 		// Fresh store.
 	default:
@@ -105,12 +127,30 @@ func (d *Disk) recover() error {
 		return fmt.Errorf("store: open wal for replay: %w", err)
 	}
 	defer f.Close()
-	offset, records, corrupt, err := replayWAL(f, d.applyOp)
+	// Records at or below the snapshot watermark are already in the
+	// snapshot: a crash between snapshot save and WAL truncation leaves
+	// them behind, and replaying them would duplicate creates and appends.
+	var skipped int
+	offset, records, corrupt, err := replayWAL(f, func(op walOp) error {
+		if op.Seq <= d.seq {
+			skipped++
+			return nil
+		}
+		if aerr := d.applyOp(op); aerr != nil {
+			return aerr
+		}
+		d.seq = op.Seq
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	d.walBytes = offset
-	d.opts.Obs.Counter("quagmire_store_wal_replayed_records_total").Add(uint64(records))
+	d.opts.Obs.Counter("quagmire_store_wal_replayed_records_total").Add(uint64(records - skipped))
+	if skipped > 0 {
+		d.opts.logf("store: skipped %d wal records already covered by the snapshot (interrupted compaction)", skipped)
+		d.opts.Obs.Counter("quagmire_store_wal_skipped_records_total").Add(uint64(skipped))
+	}
 	if corrupt != nil {
 		d.opts.logf("store: %v; truncating log to %d bytes (%d records kept)", corrupt, offset, records)
 		d.opts.Obs.Counter("quagmire_store_wal_truncations_total").Inc()
@@ -160,15 +200,31 @@ func (d *Disk) registerMetrics() {
 // log frames op, appends it to the WAL and syncs (unless NoSync). The
 // caller holds d.mu.
 func (d *Disk) log(op walOp) error {
+	if d.failed != nil {
+		return fmt.Errorf("store: wal unusable, writes disabled: %w", d.failed)
+	}
+	op.Seq = d.seq + 1
 	n, err := appendWALRecord(d.wal, op)
 	if err == nil && !d.opts.NoSync {
 		err = d.wal.Sync()
 	}
 	if err != nil {
 		d.lastErr = err
+		// The failed append may have left a torn frame (or a complete but
+		// unacknowledged record) past the last good boundary. Cut the file
+		// back to that boundary so later appends stay parseable — the WAL
+		// is opened O_APPEND, so the next write lands at the truncated end.
+		// If the rollback itself fails the log now ends mid-frame, and any
+		// record written after it would be discarded by recovery as a
+		// corrupt tail; refuse all further writes instead.
+		if rbErr := d.wal.Truncate(d.walBytes); rbErr != nil {
+			d.failed = fmt.Errorf("append failed (%v) and rollback to offset %d failed: %w", err, d.walBytes, rbErr)
+			d.opts.logf("store: %v; store is now read-only", d.failed)
+		}
 		return err
 	}
 	d.lastErr = nil
+	d.seq = op.Seq
 	d.walBytes += int64(n)
 	return nil
 }
@@ -191,22 +247,30 @@ func (d *Disk) maybeCompact() {
 	}
 }
 
-// compactLocked writes the snapshot atomically and truncates the WAL.
-// The caller holds d.mu.
-func (d *Disk) compactLocked() error {
-	defer d.opts.observe("snapshot", time.Now())
-	st := snapshotState{Codec: snapshotCodec, NextID: d.c.nextID}
+// snapshotLocked captures the serialized form of the current state,
+// stamped with the current WAL sequence. The caller holds d.mu.
+func (d *Disk) snapshotLocked() snapshotState {
+	st := snapshotState{Codec: snapshotCodec, Seq: d.seq, NextID: d.c.nextID}
 	for _, id := range sortedIDs(d.c.policies) {
 		st.Policies = append(st.Policies, *d.c.policies[id])
 	}
-	if err := d.snap.Save(snapshotKey, st); err != nil {
+	return st
+}
+
+// compactLocked writes the snapshot atomically (fsynced, so it survives a
+// host crash before the WAL it replaces is gone) and truncates the WAL.
+// The snapshot carries the WAL sequence watermark, so a crash between the
+// two steps is safe: recovery skips the already-snapshotted records.
+// The caller holds d.mu.
+func (d *Disk) compactLocked() error {
+	defer d.opts.observe("snapshot", time.Now())
+	if err := d.snap.Save(snapshotKey, d.snapshotLocked()); err != nil {
 		return err
 	}
+	// The WAL is opened O_APPEND, so after the truncate the next write
+	// lands at offset zero without an explicit seek.
 	if err := d.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: reset wal after snapshot: %w", err)
-	}
-	if _, err := d.wal.Seek(0, 0); err != nil {
-		return fmt.Errorf("store: rewind wal after snapshot: %w", err)
 	}
 	d.walBytes = 0
 	d.opts.Obs.Counter("quagmire_store_snapshots_total").Inc()
@@ -327,12 +391,15 @@ func (d *Disk) Health() Health {
 	p, v := d.c.counts()
 	walBytes := d.walBytes
 	lastErr := d.lastErr
+	failed := d.failed
 	closed := d.closed
 	d.mu.RUnlock()
 	h := Health{Backend: "disk", Policies: p, Versions: v, WALBytes: walBytes, Writable: true}
 	switch {
 	case closed:
 		h.Writable, h.Detail = false, "store closed"
+	case failed != nil:
+		h.Writable, h.Detail = false, failed.Error()
 	case lastErr != nil:
 		h.Writable, h.Detail = false, lastErr.Error()
 	default:

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -259,5 +260,179 @@ func TestClosedStoreRejectsWrites(t *testing.T) {
 	h := d.Health()
 	if h.OK() {
 		t.Error("closed store reports healthy")
+	}
+}
+
+// TestInterruptedCompactionRecovery pins crash-atomicity of compaction:
+// a crash after the snapshot is saved but before the WAL is truncated
+// leaves both behind, and replay must skip the records the snapshot
+// already contains instead of failing on duplicate creates or silently
+// duplicating versions.
+func TestInterruptedCompactionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{SnapshotThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Create("pol", mkVersion("Acme", "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(p.ID, 1, mkVersion("Acme", "v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("other", mkVersion("Bmax", "b1")); err != nil {
+		t.Fatal(err)
+	}
+	before := dumpState(t, d)
+	// Simulate the interrupted compaction: snapshot saved, WAL untouched,
+	// process dies (no Close).
+	d.mu.Lock()
+	saveErr := d.snap.Save(snapshotKey, d.snapshotLocked())
+	d.mu.Unlock()
+	if saveErr != nil {
+		t.Fatal(saveErr)
+	}
+	var logBuf bytes.Buffer
+	d2, err := OpenDisk(dir, Options{Logger: log.New(&logBuf, "", 0)})
+	if err != nil {
+		t.Fatalf("recovery after interrupted compaction failed: %v", err)
+	}
+	defer d2.Close()
+	if after := dumpState(t, d2); before != after {
+		t.Errorf("state diverged after interrupted compaction:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if meta, _ := d2.Get(p.ID); meta.Versions != 2 {
+		t.Errorf("policy %s has %d versions, want 2 (append replayed twice?)", p.ID, meta.Versions)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("skipped")) {
+		t.Errorf("no skip notice logged: %q", logBuf.String())
+	}
+	// Writes continue with fresh sequence numbers and survive another crash.
+	p3, err := d2.Create("third", mkVersion("Cort", "c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ID != "p3" {
+		t.Errorf("post-recovery ID = %q, want p3", p3.ID)
+	}
+	d3 := reopen(t, dir, Options{})
+	if list, _ := d3.List(); len(list) != 3 {
+		t.Errorf("second recovery lists %d policies, want 3", len(list))
+	}
+	if meta, _ := d3.Get(p.ID); meta.Versions != 2 {
+		t.Errorf("policy %s has %d versions after second recovery, want 2", p.ID, meta.Versions)
+	}
+}
+
+// tornWAL makes the next write emit half its bytes and then fail, like
+// ENOSPC striking mid-record.
+type tornWAL struct {
+	walFile
+	failNext bool
+}
+
+func (w *tornWAL) Write(p []byte) (int, error) {
+	if w.failNext {
+		w.failNext = false
+		n, _ := w.walFile.Write(p[:len(p)/2])
+		return n, errors.New("injected: no space left on device")
+	}
+	return w.walFile.Write(p)
+}
+
+func TestFailedAppendRollsBackTornFrame(t *testing.T) {
+	// Regression: a failed append used to leave its torn frame in the log
+	// while the store kept acknowledging writes appended after it —
+	// recovery would then truncate at the torn frame and silently discard
+	// every later acknowledged write.
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Create("pol", mkVersion("Acme", "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &tornWAL{walFile: d.wal, failNext: true}
+	d.mu.Lock()
+	d.wal = tw
+	d.mu.Unlock()
+	if _, err := d.Append(p.ID, 1, mkVersion("Acme", "torn")); err == nil {
+		t.Fatal("append over failing WAL succeeded")
+	}
+	if d.Health().OK() {
+		t.Error("health OK right after a WAL write failure")
+	}
+	// The torn frame was rolled back, so this write is durable at a clean
+	// record boundary.
+	if _, err := d.Append(p.ID, 1, mkVersion("Acme", "v2")); err != nil {
+		t.Fatalf("append after rollback failed: %v", err)
+	}
+	if !d.Health().OK() {
+		t.Errorf("health still degraded after successful rollback + write: %+v", d.Health())
+	}
+	before := dumpState(t, d)
+	// Crash-reopen: every acknowledged write is recovered, and the log has
+	// no corruption to warn about.
+	var logBuf bytes.Buffer
+	d2, err := OpenDisk(dir, Options{Logger: log.New(&logBuf, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if bytes.Contains(logBuf.Bytes(), []byte("corrupt")) {
+		t.Errorf("rolled-back frame still reads as corruption: %q", logBuf.String())
+	}
+	if after := dumpState(t, d2); before != after {
+		t.Errorf("acknowledged writes lost:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// brokenWAL fails every write and every truncate: the un-rollback-able
+// worst case.
+type brokenWAL struct {
+	walFile
+}
+
+func (w *brokenWAL) Write(p []byte) (int, error) { return 0, errors.New("injected write failure") }
+func (w *brokenWAL) Truncate(int64) error        { return errors.New("injected truncate failure") }
+
+func TestUnrollbackableWALFailureMakesStoreReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Create("pol", mkVersion("Acme", "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	orig := d.wal
+	d.wal = &brokenWAL{walFile: orig}
+	d.mu.Unlock()
+	if _, err := d.Append(p.ID, 1, mkVersion("Acme", "v2")); err == nil {
+		t.Fatal("append over broken WAL succeeded")
+	}
+	// Even with the file handle healthy again, the log may end mid-frame:
+	// the store must stay read-only rather than risk appending records
+	// recovery would discard.
+	d.mu.Lock()
+	d.wal = orig
+	d.mu.Unlock()
+	if _, err := d.Append(p.ID, 1, mkVersion("Acme", "v2")); err == nil {
+		t.Error("append accepted after failed rollback")
+	}
+	if _, err := d.Create("other", mkVersion("Bmax", "b1")); err == nil {
+		t.Error("create accepted after failed rollback")
+	}
+	if h := d.Health(); h.OK() || h.Detail == "" {
+		t.Errorf("health = %+v, want permanently degraded with detail", h)
+	}
+	// Reads keep working.
+	if _, err := d.Get(p.ID); err != nil {
+		t.Errorf("read on degraded store failed: %v", err)
 	}
 }

@@ -26,6 +26,13 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // walOp is one logged mutation.
 type walOp struct {
+	// Seq is the mutation's store-wide sequence number, strictly
+	// increasing across compactions. The snapshot records the sequence it
+	// was taken at, so replay can skip records the snapshot already
+	// contains — which is what makes an interrupted compaction (snapshot
+	// saved, WAL not yet truncated) recoverable instead of a replay of
+	// duplicate creates and appends.
+	Seq uint64 `json:"seq"`
 	// Op is "create" or "append".
 	Op string `json:"op"`
 	// ID is the policy the mutation applies to (the assigned ID for
@@ -69,6 +76,11 @@ func (e *corruptTailError) Error() string {
 // replayWAL reads records from r, invoking apply for each. It returns the
 // byte offset of the last intact record boundary, the record count, and a
 // *corruptTailError (nil for a clean log). Apply errors abort the replay.
+//
+// Only a genuinely torn tail (unexpected EOF, bad length, bad checksum,
+// undecodable payload) is reported as corruption; any other read error is
+// returned as a fatal error instead, so a transient I/O failure never
+// causes the caller to truncate away valid records.
 func replayWAL(r io.Reader, apply func(walOp) error) (offset int64, records int, corrupt *corruptTailError, err error) {
 	br := newByteCounter(r)
 	for {
@@ -77,7 +89,10 @@ func replayWAL(r io.Reader, apply func(walOp) error) (offset int64, records int,
 			if errors.Is(rerr, io.EOF) {
 				return offset, records, nil, nil
 			}
-			return offset, records, &corruptTailError{offset, "partial header"}, nil
+			if errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return offset, records, &corruptTailError{offset, "partial header"}, nil
+			}
+			return offset, records, nil, fmt.Errorf("store: read wal at offset %d: %w", offset, rerr)
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
@@ -86,7 +101,10 @@ func replayWAL(r io.Reader, apply func(walOp) error) (offset int64, records int,
 		}
 		payload := make([]byte, length)
 		if _, rerr := io.ReadFull(br, payload); rerr != nil {
-			return offset, records, &corruptTailError{offset, "partial payload"}, nil
+			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return offset, records, &corruptTailError{offset, "partial payload"}, nil
+			}
+			return offset, records, nil, fmt.Errorf("store: read wal at offset %d: %w", offset, rerr)
 		}
 		if crc32.Checksum(payload, crcTable) != sum {
 			return offset, records, &corruptTailError{offset, "checksum mismatch"}, nil
