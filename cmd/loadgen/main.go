@@ -1,0 +1,267 @@
+// Command loadgen replays a mixed read/solve workload against a quagmired
+// server and reports latency percentiles, throughput, and shed rate. It
+// exists to measure the overload behavior pinned by the server's admission
+// control (EXPERIMENTS.md E13): as offered load exceeds the solver cap,
+// reads should stay fast, excess solves should shed quickly with 429, and
+// nothing should hang.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -duration 10s -concurrency 32 -read-fraction 0.8
+//
+// With no -url, loadgen self-hosts an in-process server (in-memory store)
+// on a loopback listener, so the experiment is reproducible with no
+// external setup. The request mix is deterministic: each worker issues a
+// read when its request counter modulo 10 falls below read-fraction×10.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/server"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.url, "url", "", "target server base URL (empty = self-host an in-process server)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to offer load")
+	flag.IntVar(&cfg.concurrency, "concurrency", 16, "concurrent client workers")
+	flag.Float64Var(&cfg.readFraction, "read-fraction", 0.8, "fraction of requests that are cheap reads (0..1)")
+	flag.IntVar(&cfg.maxSolves, "max-solves", 0, "self-host only: solver admission cap (0 = default)")
+	flag.IntVar(&cfg.solveQueue, "solve-queue", 0, "self-host only: solver admission queue bound (0 = default)")
+	flag.DurationVar(&cfg.queueWait, "queue-wait", 0, "self-host only: longest queue wait before a 429 (0 = default)")
+	flag.BoolVar(&cfg.noCache, "no-cache", false, "self-host only: disable the SMT result cache so every solve pays full price")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "loadgen ", log.LstdFlags)
+	rep, err := run(cfg, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Print(rep.String())
+}
+
+type config struct {
+	url          string
+	duration     time.Duration
+	concurrency  int
+	readFraction float64
+	maxSolves    int
+	solveQueue   int
+	queueWait    time.Duration
+	noCache      bool
+}
+
+// classStats aggregates one request class (read or solve).
+type classStats struct {
+	Name      string
+	Latencies []time.Duration // successful (2xx) requests only
+	OK        int
+	Shed      int // 429
+	Timeout   int // 504
+	Errors    int // transport errors and any other non-2xx
+}
+
+type report struct {
+	Elapsed time.Duration
+	Classes []*classStats
+}
+
+// percentile returns the p-th percentile (0..100) of ds by
+// nearest-rank on the sorted slice; zero for an empty slice.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func (r report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ran %s\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %8s %10s %10s %10s %9s\n",
+		"class", "total", "ok", "shed", "errors", "p50", "p90", "p99", "req/s")
+	for _, c := range r.Classes {
+		total := c.OK + c.Shed + c.Timeout + c.Errors
+		fmt.Fprintf(&b, "%-6s %8d %8d %8d %8d %10s %10s %10s %9.1f\n",
+			c.Name, total, c.OK, c.Shed, c.Timeout+c.Errors,
+			percentile(c.Latencies, 50).Round(time.Microsecond),
+			percentile(c.Latencies, 90).Round(time.Microsecond),
+			percentile(c.Latencies, 99).Round(time.Microsecond),
+			float64(total)/r.Elapsed.Seconds())
+		if total > 0 && c.Shed > 0 {
+			fmt.Fprintf(&b, "%-6s shed rate %.1f%%\n", c.Name, 100*float64(c.Shed)/float64(total))
+		}
+	}
+	return b.String()
+}
+
+// run offers the configured load and aggregates per-class outcomes. It is
+// the whole tool minus flag parsing, so tests drive it directly.
+func run(cfg config, logger *log.Logger) (report, error) {
+	if cfg.concurrency < 1 {
+		return report{}, fmt.Errorf("concurrency must be >= 1")
+	}
+	if cfg.readFraction < 0 || cfg.readFraction > 1 {
+		return report{}, fmt.Errorf("read-fraction must be in [0,1]")
+	}
+	base := cfg.url
+	if base == "" {
+		stop, url, err := selfHost(cfg, logger)
+		if err != nil {
+			return report{}, err
+		}
+		defer stop()
+		base = url
+	}
+	base = strings.TrimRight(base, "/")
+
+	id, err := seedPolicy(base)
+	if err != nil {
+		return report{}, fmt.Errorf("seed policy: %w", err)
+	}
+
+	readURL := base + "/v1/policies/" + id
+	solveURL := base + "/v1/policies/" + id + "/query"
+	solveBody := `{"question":"Does Acme share my email address with advertising partners?"}`
+	readSlots := int(cfg.readFraction*10 + 0.5) // of every 10 requests
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	perWorker := make([][2]classStats, cfg.concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			read := &perWorker[w][0]
+			solve := &perWorker[w][1]
+			for i := 0; time.Now().Before(deadline); i++ {
+				var (
+					cs    *classStats
+					begin = time.Now()
+					resp  *http.Response
+					err   error
+				)
+				if i%10 < readSlots {
+					cs = read
+					resp, err = client.Get(readURL)
+				} else {
+					cs = solve
+					resp, err = client.Post(solveURL, "application/json", strings.NewReader(solveBody))
+				}
+				if err != nil {
+					cs.Errors++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode < 300:
+					cs.OK++
+					cs.Latencies = append(cs.Latencies, time.Since(begin))
+				case resp.StatusCode == http.StatusTooManyRequests:
+					cs.Shed++
+				case resp.StatusCode == http.StatusGatewayTimeout:
+					cs.Timeout++
+				default:
+					cs.Errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := report{
+		Elapsed: time.Since(start),
+		Classes: []*classStats{{Name: "read"}, {Name: "solve"}},
+	}
+	for w := range perWorker {
+		for i, cs := range perWorker[w] {
+			agg := rep.Classes[i]
+			agg.OK += cs.OK
+			agg.Shed += cs.Shed
+			agg.Timeout += cs.Timeout
+			agg.Errors += cs.Errors
+			agg.Latencies = append(agg.Latencies, cs.Latencies...)
+		}
+	}
+	return rep, nil
+}
+
+// selfHost serves an in-process server (in-memory store) on loopback and
+// returns a shutdown func plus its base URL.
+func selfHost(cfg config, logger *log.Logger) (stop func(), url string, err error) {
+	cacheSize := 0 // default-sized SMT result cache
+	if cfg.noCache {
+		cacheSize = -1
+	}
+	p, err := core.New(core.Options{SMTCacheSize: cacheSize})
+	if err != nil {
+		return nil, "", err
+	}
+	srv, err := server.New(server.Options{
+		Pipeline: p,
+		Logger:   logger,
+		Admission: server.AdmissionConfig{
+			MaxConcurrent: cfg.maxSolves,
+			MaxQueue:      cfg.solveQueue,
+			QueueWait:     cfg.queueWait,
+		},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	return func() { _ = httpSrv.Close() }, "http://" + ln.Addr().String(), nil
+}
+
+// seedPolicy registers the Mini corpus policy and returns its ID.
+func seedPolicy(base string) (string, error) {
+	body := fmt.Sprintf(`{"name":"mini","text":%q}`, corpus.Mini())
+	resp, err := http.Post(base+"/v1/policies", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("create = %d: %s", resp.StatusCode, raw)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &created); err != nil {
+		return "", err
+	}
+	return created.ID, nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"log"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		ds   []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		{"empty", nil, 50, 0},
+		{"single", ms(7), 99, 7 * time.Millisecond},
+		{"median of ten", ms(10, 9, 8, 7, 6, 5, 4, 3, 2, 1), 50, 5 * time.Millisecond},
+		{"p99 of ten", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 99, 10 * time.Millisecond},
+		{"p90 of ten", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 90, 9 * time.Millisecond},
+		{"p0 clamps to min", ms(3, 1, 2), 0, 1 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.ds, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(p=%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	// percentile must not mutate its input.
+	in := ms(3, 1, 2)
+	percentile(in, 50)
+	if in[0] != 3*time.Millisecond {
+		t.Error("percentile sorted the caller's slice")
+	}
+}
+
+func TestRunSelfHostSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke test skipped in -short")
+	}
+	rep, err := run(config{
+		duration:     500 * time.Millisecond,
+		concurrency:  4,
+		readFraction: 0.5,
+	}, log.New(discard{}, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, c := range rep.Classes {
+		total += c.OK + c.Shed + c.Timeout + c.Errors
+	}
+	if total == 0 {
+		t.Fatal("no requests issued")
+	}
+	reads, solves := rep.Classes[0], rep.Classes[1]
+	if reads.OK == 0 {
+		t.Errorf("no successful reads: %+v", reads)
+	}
+	if solves.OK+solves.Shed == 0 {
+		t.Errorf("no solve outcomes: %+v", solves)
+	}
+	if reads.Errors+solves.Errors != 0 {
+		t.Errorf("transport/server errors under light load: reads %d, solves %d",
+			reads.Errors, solves.Errors)
+	}
+	if out := rep.String(); out == "" {
+		t.Error("empty report")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	quagmired -addr :8080 [-data DIR] [-max-instantiations N] [-preload]
+//	          [-read-timeout D] [-solve-timeout D] [-max-solves N]
+//	          [-solve-queue N] [-queue-wait D] [-drain-timeout D]
 //
 // With -data the policy store is durable: every policy version is logged
 // to DIR's write-ahead log before it is acknowledged, a restart recovers
@@ -41,28 +43,44 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	dataDir := flag.String("data", "", "directory for the durable policy store (empty = in-memory)")
-	maxInst := flag.Int("max-instantiations", 0, "SMT quantifier-instantiation budget (0 = default)")
-	preload := flag.Bool("preload", false, "analyze and register the bundled corpora at startup")
+	cfg := serveConfig{}
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.dataDir, "data", "", "directory for the durable policy store (empty = in-memory)")
+	flag.IntVar(&cfg.maxInst, "max-instantiations", 0, "SMT quantifier-instantiation budget (0 = default)")
+	flag.BoolVar(&cfg.preload, "preload", false, "analyze and register the bundled corpora at startup")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 0, "deadline for cheap read endpoints (0 = 2s, negative = off)")
+	flag.DurationVar(&cfg.solveTimeout, "solve-timeout", 0, "deadline for solver/analysis endpoints (0 = 30s, negative = off)")
+	flag.IntVar(&cfg.maxSolves, "max-solves", 0, "concurrent solver-backed requests admitted (0 = max(2, GOMAXPROCS), negative = unlimited)")
+	flag.IntVar(&cfg.solveQueue, "solve-queue", 0, "solver requests allowed to queue for a slot (0 = 8×max-solves, negative = none)")
+	flag.DurationVar(&cfg.queueWait, "queue-wait", 0, "longest a queued solver request waits before a 429 (0 = 2s)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "quagmired ", log.LstdFlags)
-	if err := run(*addr, *dataDir, *maxInst, *preload, logger); err != nil {
+	if err := run(cfg, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(addr, dataDir string, maxInst int, preload bool, logger *log.Logger) error {
+type serveConfig struct {
+	addr, dataDir             string
+	maxInst                   int
+	preload                   bool
+	readTimeout, solveTimeout time.Duration
+	maxSolves, solveQueue     int
+	queueWait, drainTimeout   time.Duration
+}
+
+func run(cfg serveConfig, logger *log.Logger) error {
 	pipeline, err := core.New(core.Options{
-		Limits: smt.Limits{MaxInstantiations: maxInst},
+		Limits: smt.Limits{MaxInstantiations: cfg.maxInst},
 	})
 	if err != nil {
 		return err
 	}
 	var policyStore store.PolicyStore
-	if dataDir != "" {
-		disk, err := store.OpenDisk(dataDir, store.Options{Logger: logger, Obs: pipeline.Obs()})
+	if cfg.dataDir != "" {
+		disk, err := store.OpenDisk(cfg.dataDir, store.Options{Logger: logger, Obs: pipeline.Obs()})
 		if err != nil {
 			return fmt.Errorf("open policy store: %w", err)
 		}
@@ -79,27 +97,36 @@ func run(addr, dataDir string, maxInst int, preload bool, logger *log.Logger) er
 	srv, err := server.New(server.Options{
 		Pipeline:     pipeline,
 		Store:        policyStore,
-		SolverLimits: smt.Limits{MaxInstantiations: maxInst},
+		SolverLimits: smt.Limits{MaxInstantiations: cfg.maxInst},
 		Logger:       logger,
+		Timeouts: server.Timeouts{
+			Read:  cfg.readTimeout,
+			Solve: cfg.solveTimeout,
+		},
+		Admission: server.AdmissionConfig{
+			MaxConcurrent: cfg.maxSolves,
+			MaxQueue:      cfg.solveQueue,
+			QueueWait:     cfg.queueWait,
+		},
 	})
 	if err != nil {
 		return err
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
 
-	if preload {
-		go preloadCorpora(addr, logger)
+	if cfg.preload {
+		go preloadCorpora(cfg.addr, logger)
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", addr)
+		logger.Printf("listening on %s", cfg.addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -113,8 +140,11 @@ func run(addr, dataDir string, maxInst int, preload bool, logger *log.Logger) er
 	case err := <-errCh:
 		return err
 	case sig := <-stop:
-		logger.Printf("received %s, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain: stop accepting, let in-flight requests finish under the
+		// drain deadline, then (deferred above) close the store so the WAL
+		// compacts into a snapshot and the next start replays nothing.
+		logger.Printf("received %s, draining for up to %s", sig, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)

@@ -138,6 +138,24 @@ func (g *Gauge) Add(delta float64) {
 	}
 }
 
+// SetMax raises the gauge to v when v exceeds the current value (CAS
+// loop) — a monotonic high-watermark within the process, used for peak
+// in-flight and queue-depth tracking. Nil-safe.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value. Nil-safe.
 func (g *Gauge) Value() float64 {
 	if g == nil {

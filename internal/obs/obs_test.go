@@ -67,6 +67,30 @@ func TestGaugeSetAddConcurrent(t *testing.T) {
 	}
 }
 
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.SetMax(3)
+	g.SetMax(1) // lower value never wins
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i <= 64; i++ {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			g.SetMax(v)
+		}(float64(i))
+	}
+	wg.Wait()
+	if got := g.Value(); got != 64 {
+		t.Errorf("concurrent SetMax = %v, want 64", got)
+	}
+	var nilG *Gauge
+	nilG.SetMax(1) // must not panic
+}
+
 func TestHistogramBucketsAndSum(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})

@@ -1,0 +1,158 @@
+package server
+
+// Shutdown-drain behavior: a disk-backed server with a long solve in
+// flight receives the SIGTERM-equivalent (http.Server.Shutdown, exactly
+// what cmd/quagmired calls on signal). The in-flight request must finish
+// with a real answer, requests arriving after drain begins must be
+// refused, and closing the store afterwards must compact the WAL into a
+// snapshot so the next open replays zero records.
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+func TestDrainCompletesInflightThenCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenDisk(dir, store.Options{Obs: p.Obs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Pipeline: p, Store: st, Timeouts: Timeouts{Solve: 30 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve on a real listener through an http.Server so Shutdown exercises
+	// the same drain path as quagmired's signal handler.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	var created map[string]any
+	resp := doJSON(t, "POST", base+"/v1/policies",
+		map[string]string{"name": "mini", "text": corpus.Mini()}, &created)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	id := created["id"].(string)
+
+	// The long solve: the hook pins the admitted request until we let go,
+	// so drain starts with work genuinely in flight.
+	gate := make(chan struct{})
+	var entered atomic.Bool
+	s.testHookSolverAdmitted = func(r *http.Request) {
+		entered.Store(true)
+		select {
+		case <-gate:
+		case <-r.Context().Done():
+		}
+	}
+	type result struct {
+		status  int
+		verdict string
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		var out map[string]any
+		resp := doJSON(t, "POST", base+"/v1/policies/"+id+"/query",
+			map[string]string{"question": "Does Acme sell my personal information?"}, &out)
+		verdict, _ := out["verdict"].(string)
+		inflight <- result{resp.StatusCode, verdict}
+	}()
+	waitUntil(t, func() bool { return entered.Load() })
+
+	// SIGTERM-equivalent: Shutdown closes the listener immediately and
+	// blocks until in-flight requests finish (or the drain deadline).
+	shutdownDone := make(chan error, 1)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- httpSrv.Shutdown(drainCtx) }()
+
+	// Late requests are refused once drain begins: the listener is closed,
+	// so new connections fail outright (a fronting LB would surface 503).
+	waitUntil(t, func() bool {
+		lateResp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return true
+		}
+		lateResp.Body.Close()
+		return false
+	})
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	r := <-inflight
+	if r.status != http.StatusOK || r.verdict == "" {
+		t.Fatalf("in-flight request = %d verdict %q, want 200 with a verdict", r.status, r.verdict)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain did not complete cleanly: %v", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	// Clean shutdown closes the store, compacting the WAL into a snapshot.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen against a fresh registry: zero WAL records replayed, and the
+	// policy is served from the snapshot unchanged.
+	p2, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.OpenDisk(dir, store.Options{Obs: p2.Obs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	if n := p2.Obs().Snapshot().Counters["quagmire_store_wal_replayed_records_total"]; n != 0 {
+		t.Errorf("reopen after clean shutdown replayed %d WAL records, want 0", n)
+	}
+	s2, err := New(Options{Pipeline: p2, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var got map[string]any
+	resp = doJSON(t, "GET", ts2.URL+"/v1/policies/"+id, nil, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy lost across clean shutdown: GET = %d", resp.StatusCode)
+	}
+	if company, _ := got["company"].(string); !strings.EqualFold(company, "Acme") {
+		t.Errorf("recovered company = %q, want Acme", company)
+	}
+}

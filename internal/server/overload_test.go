@@ -1,0 +1,334 @@
+package server
+
+// Overload behavior: admission control bounds solver concurrency, excess
+// load is shed with 429 + Retry-After, deadlines are enforced within a
+// grace bound, and a panicking handler leaves the server serving. Runs
+// under -race in CI's server e2e leg.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+)
+
+// newOverloadServer builds a server with explicit lifecycle knobs and
+// returns the Server (for hooks and metrics) plus its test listener.
+func newOverloadServer(t *testing.T, tmo Timeouts, adm AdmissionConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Pipeline: p, Timeouts: tmo, Admission: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// waitUntil polls cond until it holds, failing the test after a bound
+// generous enough for loaded -race CI runners.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverloadShedsPastAdmissionCap floods /verify-batch with 4N+ the
+// admission cap while a slow fake solver pins every admitted slot, then
+// asserts the acceptance contract: exactly cap requests run
+// simultaneously (via the peak gauge), the queue peaks at its configured
+// bound, and everything else is shed with 429 + Retry-After.
+func TestOverloadShedsPastAdmissionCap(t *testing.T) {
+	const (
+		capN     = 2
+		queue    = 2
+		flood    = 4 * capN * 2 // 16 concurrent requests, 4N and then some
+		waitFor  = 150 * time.Millisecond
+		solveTmo = 10 * time.Second
+	)
+	s, ts := newOverloadServer(t,
+		Timeouts{Solve: solveTmo},
+		AdmissionConfig{MaxConcurrent: capN, MaxQueue: queue, QueueWait: waitFor})
+
+	id := createPolicy(t, ts)["id"].(string)
+
+	// Slow fake solver: admitted requests block until released (or their
+	// deadline fires), holding their slot like a pathological formula.
+	release := make(chan struct{})
+	var admitted atomic.Int32
+	s.testHookSolverAdmitted = func(r *http.Request) {
+		admitted.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}
+
+	body := `{"questions":["Does Acme sell my personal information?"]}`
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan outcome, flood)
+	var wg sync.WaitGroup
+
+	// Two blockers first so the slots are deterministically full...
+	for i := 0; i < capN; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/policies/"+id+"/verify-batch", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			results <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}()
+	}
+	waitUntil(t, func() bool { return admitted.Load() >= capN })
+	// ...then the flood, which can only queue or shed.
+	for i := capN; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/policies/"+id+"/verify-batch", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			results <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}()
+	}
+
+	// Collect every flood response (all must shed: the slots never free);
+	// only then release the blockers.
+	shed := 0
+	for shed < flood-capN {
+		o := <-results
+		if o.status != http.StatusTooManyRequests {
+			t.Fatalf("flood request = %d, want 429", o.status)
+		}
+		if o.retryAfter == "" {
+			t.Error("429 without Retry-After")
+		}
+		shed++
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+	for o := range results {
+		if o.status != http.StatusOK {
+			t.Errorf("admitted request = %d, want 200", o.status)
+		}
+	}
+
+	if got := admitted.Load(); got != capN {
+		t.Errorf("admitted = %d, want exactly %d (cap)", got, capN)
+	}
+	snap := s.pipeline.Metrics()
+	if peak := snap.Gauges["quagmire_http_solver_inflight_peak"]; peak != capN {
+		t.Errorf("inflight peak gauge = %v, want %d", peak, capN)
+	}
+	if qp := snap.Gauges["quagmire_http_solver_queue_depth_peak"]; qp != queue {
+		t.Errorf("queue depth peak gauge = %v, want the configured bound %d", qp, queue)
+	}
+	var shedTotal uint64
+	for id, v := range snap.Counters {
+		if strings.HasPrefix(id, "quagmire_http_shed_total") {
+			shedTotal += v
+		}
+	}
+	if shedTotal != flood-capN {
+		t.Errorf("shed counter = %d, want %d", shedTotal, flood-capN)
+	}
+	if inflight := snap.Gauges["quagmire_http_solver_inflight"]; inflight != 0 {
+		t.Errorf("inflight gauge = %v after drain, want 0", inflight)
+	}
+}
+
+// TestOverloadDeadlineEnforced pins that a solver request slower than its
+// deadline is cut off within a grace bound and surfaces as 504, not as a
+// hung connection or a masked 422.
+func TestOverloadDeadlineEnforced(t *testing.T) {
+	const deadline = 200 * time.Millisecond
+	s, ts := newOverloadServer(t, Timeouts{Solve: deadline}, AdmissionConfig{})
+	id := createPolicy(t, ts)["id"].(string)
+
+	s.testHookSolverAdmitted = func(r *http.Request) {
+		<-r.Context().Done() // the slow fake solver honors cancellation
+	}
+
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/policies/"+id+"/query", "application/json",
+		strings.NewReader(`{"question":"Does Acme sell my personal information?"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("slow solve = %d, want 504", resp.StatusCode)
+	}
+	const grace = 2 * time.Second // generous for -race CI runners
+	if elapsed > deadline+grace {
+		t.Errorf("request took %s, deadline %s + grace %s exceeded", elapsed, deadline, grace)
+	}
+	if n := s.pipeline.Metrics().Counters["quagmire_http_deadline_exceeded_total"]; n == 0 {
+		t.Error("deadline counter not incremented")
+	}
+}
+
+// TestOverloadQueueWaitSheds pins the queue-timeout path: a queued
+// request whose slot never frees is shed after ~QueueWait with reason
+// "timeout", and its wait never exceeds QueueWait by more than grace.
+func TestOverloadQueueWaitSheds(t *testing.T) {
+	const wait = 100 * time.Millisecond
+	s, ts := newOverloadServer(t,
+		Timeouts{Solve: 10 * time.Second},
+		AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1, QueueWait: wait})
+	id := createPolicy(t, ts)["id"].(string)
+
+	release := make(chan struct{})
+	var admitted atomic.Int32
+	s.testHookSolverAdmitted = func(r *http.Request) {
+		if admitted.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+		}
+	}
+	defer close(release)
+
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		resp, err := http.Post(ts.URL+"/v1/policies/"+id+"/query", "application/json",
+			strings.NewReader(`{"question":"Does Acme sell my personal information?"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitUntil(t, func() bool { return admitted.Load() >= 1 })
+
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/policies/"+id+"/query", "application/json",
+		strings.NewReader(`{"question":"Does Acme sell my personal information?"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued past QueueWait = %d, want 429", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > wait+2*time.Second {
+		t.Errorf("queue shed took %s, want ~%s", elapsed, wait)
+	}
+	if v := s.pipeline.Metrics().Counters[`quagmire_http_shed_total{reason="timeout"}`]; v != 1 {
+		t.Errorf("timeout shed counter = %d, want 1", v)
+	}
+	release <- struct{}{}
+	<-blockerDone
+}
+
+// TestOverloadPanicRecovery pins panic containment: a panicking solver
+// request gets a 500 JSON envelope, the panic counter increments, the
+// admission slot is released, and the very next request succeeds.
+func TestOverloadPanicRecovery(t *testing.T) {
+	s, ts := newOverloadServer(t, Timeouts{}, AdmissionConfig{MaxConcurrent: 1})
+
+	var bomb atomic.Bool
+	bomb.Store(true)
+	s.testHookSolverAdmitted = func(r *http.Request) {
+		if bomb.CompareAndSwap(true, false) {
+			panic("pathological formula blew up the handler")
+		}
+	}
+
+	body := `{"script":"(declare-fun p () Bool)\n(assert p)\n(check-sat)"}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("panic response content type = %q", ct)
+	}
+	if n := s.pipeline.Metrics().Counters["quagmire_http_panics_total"]; n != 1 {
+		t.Errorf("panic counter = %d, want 1", n)
+	}
+
+	// The process survived, the slot was released (cap is 1: a leaked slot
+	// would wedge this request in the queue), and serving continues.
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestOverloadAdmissionDisabled pins the opt-out: MaxConcurrent < 0 turns
+// the limiter off entirely and the hook still runs requests directly.
+func TestOverloadAdmissionDisabled(t *testing.T) {
+	s, ts := newOverloadServer(t, Timeouts{}, AdmissionConfig{MaxConcurrent: -1})
+	if s.adm != nil {
+		t.Fatal("admission not disabled by MaxConcurrent < 0")
+	}
+	body := `{"script":"(declare-fun p () Bool)\n(assert p)\n(check-sat)"}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve without admission = %d", resp.StatusCode)
+	}
+}
+
+// TestOverloadBatchDeadlinePropagates drives a real (unhooked) batch with
+// an already-expired context through the engine seam, pinning that
+// cancellation reaches AskBatch and maps to 504.
+func TestOverloadBatchDeadlinePropagates(t *testing.T) {
+	p, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err = a.Engine.AskBatch(ctx, []string{"Does Acme sell my personal information?"})
+	if err == nil {
+		t.Fatal("AskBatch with expired context returned nil error")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("AskBatch error = %v, want deadline exceeded", err)
+	}
+}

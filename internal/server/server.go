@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"mime"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,9 +44,19 @@ type Server struct {
 	limits   smt.Limits
 	logger   *log.Logger
 	store    store.PolicyStore
+	timeouts Timeouts
 
-	// sem limits in-flight requests when non-nil.
+	// sem limits in-flight requests across all routes when non-nil
+	// (excess gets 503); adm admission-controls solver-backed endpoints
+	// specifically (queue, then 429).
 	sem chan struct{}
+	adm *admission
+
+	// testHookSolverAdmitted, when non-nil, runs inside the admitted
+	// section of every solver-backed endpoint, before the real handler.
+	// Tests use it to simulate slow or panicking solvers; production
+	// leaves it nil.
+	testHookSolverAdmitted func(r *http.Request)
 
 	// mu orders store mutations with live-engine installs: writers hold it
 	// across the store write and the live-map swap, readers across the
@@ -72,9 +85,19 @@ type Options struct {
 	SolverLimits smt.Limits
 	// Logger receives request logs; nil disables logging.
 	Logger *log.Logger
-	// MaxConcurrent caps in-flight requests; excess requests receive 503.
-	// 0 disables the limiter.
+	// MaxConcurrent caps in-flight requests across all routes; excess
+	// requests receive 503. 0 disables the limiter. The health, metrics
+	// and debug endpoints are exempt so operators can still observe a
+	// saturated server.
 	MaxConcurrent int
+	// Timeouts sets the per-endpoint-class request deadlines; zero fields
+	// select defaults (reads 2s, solver/analysis 30s), negative disables.
+	Timeouts Timeouts
+	// Admission bounds concurrent solver-backed requests (query,
+	// verify-batch, explore, solve): a bounded semaphore plus a short
+	// wait queue, shedding excess with 429 + Retry-After. The zero value
+	// selects defaults; MaxConcurrent < 0 disables.
+	Admission AdmissionConfig
 }
 
 // New constructs a server. When the store already holds policies (a
@@ -93,6 +116,8 @@ func New(opts Options) (*Server, error) {
 		limits:   opts.SolverLimits,
 		logger:   opts.Logger,
 		store:    st,
+		timeouts: opts.Timeouts.withDefaults(),
+		adm:      newAdmission(opts.Admission, opts.Pipeline.Obs()),
 		live:     map[string]*liveAnalysis{},
 	}
 	if opts.MaxConcurrent > 0 {
@@ -151,6 +176,13 @@ var publishExpvar = sync.OnceFunc(func() {
 // /debug/vars, the pprof suite under /debug/pprof/ — are mounted here on
 // the server's own mux, not on http.DefaultServeMux, so binding the API
 // to a port never accidentally exposes another library's debug handlers.
+//
+// API routes are registered per lifecycle class: cheap reads get the Read
+// deadline, analysis writes (create/update) get the Solve deadline, and
+// solver-backed endpoints additionally pass admission control. The
+// observability routes stay bare — a deadline on /debug/pprof/profile
+// would truncate profiles, and operators must be able to scrape a server
+// that is saturated or wedged.
 func (s *Server) Handler() http.Handler {
 	expvarRegistry.Store(s.pipeline.Obs())
 	publishExpvar()
@@ -162,29 +194,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/policies", s.handleCreatePolicy)
-	mux.HandleFunc("GET /v1/policies", s.handleListPolicies)
-	mux.HandleFunc("GET /v1/policies/{id}", s.handleGetPolicy)
-	mux.HandleFunc("PUT /v1/policies/{id}", s.handleUpdatePolicy)
-	mux.HandleFunc("GET /v1/policies/{id}/versions", s.handleVersions)
-	mux.HandleFunc("GET /v1/policies/{id}/versions/{n}", s.handleVersion)
-	mux.HandleFunc("GET /v1/policies/{id}/diff", s.handleDiff)
-	mux.HandleFunc("GET /v1/policies/{id}/edges", s.handleEdges)
-	mux.HandleFunc("GET /v1/policies/{id}/vague", s.handleVague)
-	mux.HandleFunc("POST /v1/policies/{id}/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/policies/{id}/verify-batch", s.handleVerifyBatch)
-	mux.HandleFunc("POST /v1/policies/{id}/explore", s.handleExplore)
-	mux.HandleFunc("GET /v1/policies/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /v1/policies/{id}/dot", s.handleDOT)
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.readClass(s.handleHealth))
+	mux.HandleFunc("POST /v1/policies", s.analyzeClass(s.handleCreatePolicy))
+	mux.HandleFunc("GET /v1/policies", s.readClass(s.handleListPolicies))
+	mux.HandleFunc("GET /v1/policies/{id}", s.readClass(s.handleGetPolicy))
+	mux.HandleFunc("PUT /v1/policies/{id}", s.analyzeClass(s.handleUpdatePolicy))
+	mux.HandleFunc("GET /v1/policies/{id}/versions", s.readClass(s.handleVersions))
+	mux.HandleFunc("GET /v1/policies/{id}/versions/{n}", s.readClass(s.handleVersion))
+	mux.HandleFunc("GET /v1/policies/{id}/diff", s.readClass(s.handleDiff))
+	mux.HandleFunc("GET /v1/policies/{id}/edges", s.readClass(s.handleEdges))
+	mux.HandleFunc("GET /v1/policies/{id}/vague", s.readClass(s.handleVague))
+	mux.HandleFunc("POST /v1/policies/{id}/query", s.solverClass(s.handleQuery))
+	mux.HandleFunc("POST /v1/policies/{id}/verify-batch", s.solverClass(s.handleVerifyBatch))
+	mux.HandleFunc("POST /v1/policies/{id}/explore", s.solverClass(s.handleExplore))
+	mux.HandleFunc("GET /v1/policies/{id}/report", s.readClass(s.handleReport))
+	mux.HandleFunc("GET /v1/policies/{id}/dot", s.readClass(s.handleDOT))
+	mux.HandleFunc("POST /v1/solve", s.solverClass(s.handleSolve))
 	return s.withMiddleware(mux)
+}
+
+// limiterExempt reports whether the global concurrency limiter skips this
+// path: health checks and observability scrapes must keep working on a
+// saturated server, or the overload would blind the operator and make the
+// load balancer drain instances for the wrong reason.
+func limiterExempt(path string) bool {
+	return path == "/healthz" || path == "/metrics" || strings.HasPrefix(path, "/debug/")
 }
 
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		if s.sem != nil {
+		if s.sem != nil && !limiterExempt(r.URL.Path) {
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
@@ -195,7 +235,24 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		func() {
+			// Panic containment: one crashing handler must never take the
+			// process (and every other in-flight request) down with it.
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				s.pipeline.Obs().Counter("quagmire_http_panics_total").Inc()
+				if s.logger != nil {
+					s.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, "internal server error")
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		}()
 		reg := s.pipeline.Obs()
 		reg.Counter("quagmire_http_requests_total", "code", strconv.Itoa(rec.status)).Inc()
 		reg.Histogram("quagmire_http_request_seconds", obs.TimeBuckets).ObserveSince(start)
@@ -211,15 +268,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.pipeline.Obs().WritePrometheus(w)
 }
 
+// statusRecorder captures the response code for logging/metrics and
+// whether anything was written yet — the panic handler can only
+// substitute a 500 while the response is still unstarted.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// optional interfaces (Flusher, deadline control) through the recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // apiError is the JSON error envelope.
 type apiError struct {
@@ -236,7 +307,27 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// checkJSONContentType enforces application/json on bodied requests. A
+// missing Content-Type is tolerated (curl without -H still works); an
+// explicit non-JSON one is a client bug surfaced as 415 rather than a
+// confusing JSON parse error.
+func checkJSONContentType(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil || mt != "application/json" {
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want application/json)", ct)
+		return false
+	}
+	return true
+}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if !checkJSONContentType(w, r) {
+		return false
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -252,6 +343,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return false
 	}
+	// Drain whatever trails the decoded value (bounded by MaxBytesReader)
+	// so the keep-alive connection is reusable.
+	_, _ = io.Copy(io.Discard, r.Body)
 	return true
 }
 
@@ -330,7 +424,7 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 	}
 	a, err := s.pipeline.Analyze(r.Context(), req.Text)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
+		s.writeComputeError(w, r, "analysis failed", err)
 		return
 	}
 	payload, err := core.EncodeAnalysis(a)
@@ -449,7 +543,7 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 	// silently dropping edits.
 	a, diff, st, err := s.pipeline.Update(r.Context(), e.analysis, req.Text)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "update failed: %v", err)
+		s.writeComputeError(w, r, "update failed", err)
 		return
 	}
 	payload, err := core.EncodeAnalysis(a)
@@ -591,7 +685,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := e.analysis.Engine.Ask(r.Context(), req.Question)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		s.writeComputeError(w, r, "query failed", err)
 		return
 	}
 	resp := queryResponse{
@@ -659,7 +753,7 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	items, err := e.analysis.Engine.AskBatch(r.Context(), req.Questions)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "batch verification failed: %v", err)
+		s.writeComputeError(w, r, "batch verification failed", err)
 		return
 	}
 	resp := verifyBatchResponse{
@@ -701,7 +795,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	exp, err := e.analysis.Engine.Explore(r.Context(), req.Question)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "exploration failed: %v", err)
+		s.writeComputeError(w, r, "exploration failed", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, exp)
@@ -761,7 +855,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := smt.RunScriptCtx(r.Context(), req.Script, s.limits)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "solve failed: %v", err)
+		s.writeComputeError(w, r, "solve failed", err)
 		return
 	}
 	out := make([]solveResponse, len(results))

@@ -496,7 +496,7 @@ func TestConcurrencyLimiter(t *testing.T) {
 	s.sem <- struct{}{}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/v1/policies")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,9 +504,21 @@ func TestConcurrencyLimiter(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated server = %d, want 503", resp.StatusCode)
 	}
+	// Health and metrics are exempt: a saturated server must stay
+	// observable.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err = http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("saturated server %s = %d, want 200 (limiter exemption)", path, resp.StatusCode)
+		}
+	}
 	// Release and retry.
 	<-s.sem
-	resp, err = http.Get(ts.URL + "/healthz")
+	resp, err = http.Get(ts.URL + "/v1/policies")
 	if err != nil {
 		t.Fatal(err)
 	}
