@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|table3|similarity|scaling|smt|incremental|contradictions|verdicts|smtlib|domains|wholepolicy|recovery|all
+//	experiments -exp table1|table2|table3|similarity|scaling|smt|incremental|contradictions|verdicts|smtlib|domains|wholepolicy|scenarios|recovery|all
 package main
 
 import (
@@ -142,6 +142,15 @@ func run(exp string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderWholePolicy(rows))
+		fmt.Println()
+	}
+	if all || exp == "scenarios" {
+		fmt.Println("== E14: compliance-as-code suite throughput (shared core vs per-ask subgraph) ==")
+		rows, err := experiments.ScenarioThroughput(ctx, 24)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScenarios(rows))
 		fmt.Println()
 	}
 	if all || exp == "recovery" {

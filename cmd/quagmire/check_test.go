@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+// writeSuite drops a .qq suite into its own temp directory.
+func writeSuite(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const greenSuite = `suite "green" {
+  policy "corpus:mini"
+  use ccpa-no-sale(controller = "Acme")
+  scenario "collection disclosed" {
+    ask "Does Acme collect my device identifiers?"
+    expect VALID
+  }
+}`
+
+func TestCheckScenarioSuite(t *testing.T) {
+	p := writeSuite(t, "green.qq", greenSuite)
+	junit := filepath.Join(t.TempDir(), "report.xml")
+	jsonOut := filepath.Join(t.TempDir(), "report.json")
+	out, err := capture(t, func() error {
+		return run([]string{"check", "-suite", p, "-junit", junit, "-json", jsonOut})
+	})
+	if err != nil {
+		t.Fatalf("check failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"3 passed, 0 skipped, 0 failed, 0 errored", "ccpa-no-sale: no sale of personal information"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %q:\n%s", want, out)
+		}
+	}
+	xml, err := os.ReadFile(junit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(xml), `<testsuite name="green" tests="3" failures="0"`) {
+		t.Errorf("junit report:\n%s", xml)
+	}
+	js, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"format": "quagmire-scenario-report/1"`) || !strings.Contains(string(js), `"ok": true`) {
+		t.Errorf("json report:\n%s", js)
+	}
+}
+
+func TestCheckScenarioDirectory(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"b_second.qq": `suite "second" { policy "corpus:mini" scenario "s" { ask "Does Acme sell my personal information?" expect INVALID } }`,
+		"a_first.qq":  `suite "first" { policy "corpus:mini" scenario "f" { ask "Does Acme collect my device identifiers?" expect VALID } }`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := capture(t, func() error { return run([]string{"check", "-suite", dir}) })
+	if err != nil {
+		t.Fatalf("check failed: %v\n%s", err, out)
+	}
+	// Suites run in sorted file order, sharing one cached engine.
+	if strings.Index(out, `suite "first"`) > strings.Index(out, `suite "second"`) {
+		t.Errorf("suites out of order:\n%s", out)
+	}
+}
+
+func TestCheckScenarioFailureExit(t *testing.T) {
+	p := writeSuite(t, "red.qq", `suite "red" {
+  policy "corpus:mini"
+  scenario "wrong" {
+    ask "Does Acme sell my personal information?"
+    expect VALID
+  }
+}`)
+	junit := filepath.Join(t.TempDir(), "report.xml")
+	out, err := capture(t, func() error { return run([]string{"check", "-suite", p, "-junit", junit}) })
+	if err == nil {
+		t.Fatalf("failing suite must return an error:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "1 scenario(s) failed") {
+		t.Errorf("error = %v", err)
+	}
+	// The JUnit artifact is still written for CI to upload.
+	xml, rerr := os.ReadFile(junit)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !strings.Contains(string(xml), `type="verdict-mismatch"`) {
+		t.Errorf("junit report:\n%s", xml)
+	}
+}
+
+func TestCheckPolicyOverrides(t *testing.T) {
+	// Suite declares no policy; -corpus supplies it.
+	p := writeSuite(t, "nopolicy.qq", `suite "nopolicy" {
+  scenario "s" { ask "Does Acme sell my personal information?" expect INVALID }
+}`)
+	if out, err := capture(t, func() error { return run([]string{"check", "-suite", p, "-corpus", "mini"}) }); err != nil {
+		t.Fatalf("-corpus override failed: %v\n%s", err, out)
+	}
+	// Without any policy source the run is a configuration error.
+	if _, err := capture(t, func() error { return run([]string{"check", "-suite", p}) }); err == nil {
+		t.Error("suite without policy should fail")
+	}
+	// -policy-file resolves a policy from disk.
+	pf := writePolicy(t, corpus.Mini())
+	if out, err := capture(t, func() error { return run([]string{"check", "-suite", p, "-policy-file", pf}) }); err != nil {
+		t.Fatalf("-policy-file override failed: %v\n%s", err, out)
+	}
+}
+
+func TestCheckFilePolicyReference(t *testing.T) {
+	// A file: reference resolves relative to the suite's own directory.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "policy.txt"), []byte(corpus.Mini()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `suite "local" {
+  policy "file:policy.txt"
+  scenario "s" { ask "Does Acme collect my device identifiers?" expect VALID }
+}`
+	if err := os.WriteFile(filepath.Join(dir, "local.qq"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := capture(t, func() error { return run([]string{"check", "-suite", dir}) }); err != nil {
+		t.Fatalf("file: reference failed: %v\n%s", err, out)
+	}
+}
+
+func TestCheckStoredPolicy(t *testing.T) {
+	// Analyze Mini, persist it, then check the stored version by reference.
+	dataDir := t.TempDir()
+	pipe, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pipe.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := core.EncodeAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.OpenDisk(dataDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := st.Create("acme", store.Version{
+		VersionMeta: store.VersionMeta{Company: a.KG.Company},
+		Payload:     payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := writeSuite(t, "stored.qq", `suite "stored" {
+  scenario "s" { ask "Does Acme sell my personal information?" expect INVALID }
+}`)
+	out, err := capture(t, func() error {
+		return run([]string{"check", "-suite", p, "-policy", pol.ID + "@1", "-data", dataDir})
+	})
+	if err != nil {
+		t.Fatalf("stored-policy check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "policy store:"+pol.ID+"@1") {
+		t.Errorf("output should label the store reference:\n%s", out)
+	}
+}
+
+func TestCheckConfigErrors(t *testing.T) {
+	p := writeSuite(t, "green.qq", greenSuite)
+	for _, args := range [][]string{
+		{"check", "-suite", "/nonexistent"},
+		{"check", "-suite", p, "-corpus", "bogus"},
+		{"check", "-suite", p, "-policy", "id"}, // missing -data
+		{"check", "-suite", p, "-corpus", "mini", "-policy-file", "x"},
+		{"check", "-suite", p, "stray-arg"},
+		{"check", "-suite", filepath.Dir(writeSuite(t, "bad.qq", `suite "b" {`))},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+	// An empty directory is an error, not a silent pass.
+	if _, err := capture(t, func() error { return run([]string{"check", "-suite", t.TempDir()}) }); err == nil {
+		t.Error("empty suite directory should fail")
+	}
+}

@@ -12,7 +12,10 @@
 //	quagmire vague    <policy.txt>             vague conditions needing human review
 //	quagmire report   <policy.txt>             markdown audit report
 //	quagmire dot      <policy.txt> [graph|data|entity]  Graphviz export
-//	quagmire check    <policy.txt> <suite.txt> run a compliance conformance suite
+//	quagmire check    <policy.txt> <suite.txt> run a plain-text conformance suite
+//	quagmire check    -suite <dir|file.qq> [-policy id[@n] -data dir | -policy-file f | -corpus name]
+//	                  [-junit out.xml] [-json out.json] [-deadline 30s]
+//	                                           run compliance-as-code scenario suites (CI gate)
 //	quagmire compare  <a.txt> <b.txt>          cross-company disclosure gap analysis
 //	quagmire explore  <policy.txt> "<query>"   enumerate vague-condition scenarios
 //	quagmire explain  <policy.txt> "<query>"   minimal evidence for a VALID verdict
@@ -246,8 +249,14 @@ func run(args []string) error {
 		return nil
 
 	case "check":
+		// Flag form runs compliance-as-code scenario suites; the legacy
+		// positional form (`check <policy.txt> <suite.txt>`) keeps running
+		// plain-text conformance suites.
+		if len(rest) < 2 || strings.HasPrefix(rest[1], "-") {
+			return runCheck(ctx, rest[1:], *maxInst, *workers)
+		}
 		if len(rest) != 3 {
-			return fmt.Errorf("usage: quagmire check <policy.txt> <suite.txt>")
+			return fmt.Errorf("usage: quagmire check <policy.txt> <suite.txt> | quagmire check -suite <dir|file.qq> [flags]")
 		}
 		text, err := readPolicy(rest[1])
 		if err != nil {

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+// Case is one compiled, executable scenario: a fully interpolated question
+// plus the verdict it must produce.
+type Case struct {
+	// Name identifies the case in reports (pack cases are prefixed with
+	// the pack name).
+	Name string `json:"name"`
+	// Question is the vocabulary-bound natural-language query.
+	Question string `json:"question"`
+	// Want is the expected verdict.
+	Want query.Verdict `json:"want"`
+	// Tags are the scenario's labels.
+	Tags []string `json:"tags,omitempty"`
+	// Origin is the rule pack the case came from ("" for direct scenarios).
+	Origin string `json:"origin,omitempty"`
+	// Line is the source line of the declaring scenario or use directive.
+	Line int `json:"line"`
+}
+
+// CompiledSuite is a suite lowered to executable cases.
+type CompiledSuite struct {
+	// Name and File identify the suite.
+	Name, File string
+	// Policy is the declared policy source (may be empty).
+	Policy string
+	// Deadline is the declared per-scenario deadline (0 = none).
+	Deadline time.Duration
+	// Cases are the executable scenarios in declaration order, packs first.
+	Cases []Case
+}
+
+// Compile lowers a parsed suite: rule packs are expanded, $name references
+// in questions and scenario names are substituted from the suite's
+// bindings (overlaid with pack parameters inside packs), and every case is
+// validated to carry a question and an expected verdict.
+func Compile(s *Suite) (*CompiledSuite, error) {
+	cs := &CompiledSuite{Name: s.Name, File: s.File, Policy: s.Policy, Deadline: s.Deadline}
+	bindings := map[string]string{}
+	for name, b := range s.Bindings {
+		bindings[name] = b.Value
+	}
+	fail := func(line int, format string, args ...any) error {
+		return &Error{File: s.File, Line: line, Col: 1, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	addCase := func(sc Scenario, env map[string]string, origin string, line int) error {
+		name, err := interpolate(sc.Name, env)
+		if err != nil {
+			return fail(line, "scenario %q: %v", sc.Name, err)
+		}
+		if sc.Ask == "" {
+			return fail(line, "scenario %q has no ask", name)
+		}
+		if !sc.HasExpect {
+			return fail(line, "scenario %q has no expect", name)
+		}
+		q, err := interpolate(sc.Ask, env)
+		if err != nil {
+			return fail(line, "scenario %q: %v", name, err)
+		}
+		if origin != "" {
+			name = origin + ": " + name
+		}
+		cs.Cases = append(cs.Cases, Case{
+			Name: name, Question: q, Want: sc.Expect,
+			Tags: sc.Tags, Origin: origin, Line: line,
+		})
+		return nil
+	}
+
+	for _, u := range s.Uses {
+		scenarios, params, err := expandUse(u)
+		if err != nil {
+			return nil, fail(u.Line, "%v", err)
+		}
+		// Pack parameters shadow suite bindings inside the pack's own
+		// templates.
+		env := map[string]string{}
+		for k, v := range bindings {
+			env[k] = v
+		}
+		for k, v := range params {
+			env[k] = v
+		}
+		for _, sc := range scenarios {
+			if err := addCase(sc, env, u.Pack, u.Line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, sc := range s.Scenarios {
+		if err := addCase(sc, bindings, "", sc.Line); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(cs.Cases) == 0 {
+		return nil, fail(0, "suite %q declares no scenarios", s.Name)
+	}
+	seen := map[string]int{}
+	for i, c := range cs.Cases {
+		if prev, dup := seen[c.Name]; dup {
+			return nil, fail(c.Line, "duplicate scenario name %q (also case %d)", c.Name, prev+1)
+		}
+		seen[c.Name] = i
+	}
+	return cs, nil
+}
+
+// interpolate substitutes $name / ${name} references from env; $$ is a
+// literal dollar. Unresolved references are errors — a typoed alias must
+// not silently reach the query engine as "$advertisers".
+func interpolate(s string, env map[string]string) (string, error) {
+	if !strings.ContainsRune(s, '$') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '$' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 < len(s) && s[i+1] == '$' {
+			b.WriteByte('$')
+			i += 2
+			continue
+		}
+		name, next, ok := scanRef(s, i+1)
+		if !ok {
+			return "", fmt.Errorf("stray '$' at offset %d (use $$ for a literal dollar)", i)
+		}
+		v, bound := env[name]
+		if !bound {
+			return "", fmt.Errorf("unknown reference $%s (no such actor/data binding or pack parameter)", name)
+		}
+		b.WriteString(v)
+		i = next
+	}
+	return b.String(), nil
+}
+
+// scanRef reads an identifier (optionally brace-wrapped) starting at i,
+// returning the name and the index just past the reference.
+func scanRef(s string, i int) (name string, next int, ok bool) {
+	braced := i < len(s) && s[i] == '{'
+	if braced {
+		i++
+	}
+	start := i
+	for i < len(s) && isRefByte(s[i]) {
+		i++
+	}
+	if i == start {
+		return "", 0, false
+	}
+	name = s[start:i]
+	if braced {
+		if i >= len(s) || s[i] != '}' {
+			return "", 0, false
+		}
+		i++
+	}
+	return name, i, true
+}
+
+// isRefByte limits reference names to identifier characters: an underscore
+// or alphanumeric run, so "$email?" parses as $email + '?'.
+func isRefByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+func mustCompile(t *testing.T, src string) *CompiledSuite {
+	t.Helper()
+	s, err := Parse("t.qq", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestCompileInterpolation(t *testing.T) {
+	cs := mustCompile(t, `suite "s" {
+  actor ads   = "advertising partners"
+  data  email = "email address"
+  scenario "email to $ads" {
+    ask "Does Acme share my ${email}es with $ads? Costs $$5."
+    expect VALID
+  }
+}`)
+	if len(cs.Cases) != 1 {
+		t.Fatalf("cases = %+v", cs.Cases)
+	}
+	c := cs.Cases[0]
+	if c.Name != "email to advertising partners" {
+		t.Errorf("name = %q", c.Name)
+	}
+	want := "Does Acme share my email addresses with advertising partners? Costs $5."
+	if c.Question != want {
+		t.Errorf("question = %q, want %q", c.Question, want)
+	}
+	if c.Want != query.Valid {
+		t.Errorf("want = %v", c.Want)
+	}
+}
+
+func TestCompilePackExpansion(t *testing.T) {
+	cs := mustCompile(t, `suite "s" {
+  use ccpa-no-sale(controller = "Acme")
+  scenario "direct" {
+    ask "Does Acme collect my device identifiers?"
+    expect VALID
+  }
+}`)
+	if len(cs.Cases) != 3 {
+		t.Fatalf("cases = %d, want 3 (2 pack + 1 direct)", len(cs.Cases))
+	}
+	// Pack cases come first, carry the pack origin and prefixed names.
+	if cs.Cases[0].Origin != "ccpa-no-sale" {
+		t.Errorf("origin = %q", cs.Cases[0].Origin)
+	}
+	if !strings.HasPrefix(cs.Cases[0].Name, "ccpa-no-sale: ") {
+		t.Errorf("pack case name = %q", cs.Cases[0].Name)
+	}
+	if !strings.Contains(cs.Cases[0].Question, "Acme") {
+		t.Errorf("pack param not substituted: %q", cs.Cases[0].Question)
+	}
+	if cs.Cases[2].Origin != "" || cs.Cases[2].Name != "direct" {
+		t.Errorf("direct case = %+v", cs.Cases[2])
+	}
+}
+
+func TestCompilePackParamShadowsBinding(t *testing.T) {
+	// A suite-level binding named like a pack parameter loses to the use's
+	// explicit argument inside the pack templates.
+	cs := mustCompile(t, `suite "s" {
+  actor controller = "WrongCo"
+  use ccpa-no-sale(controller = "RightCo")
+  scenario "uses suite binding" {
+    ask "Does $controller collect my email address?"
+    expect INVALID
+  }
+}`)
+	if !strings.Contains(cs.Cases[0].Question, "RightCo") {
+		t.Errorf("pack question = %q, want RightCo", cs.Cases[0].Question)
+	}
+	last := cs.Cases[len(cs.Cases)-1]
+	if !strings.Contains(last.Question, "WrongCo") {
+		t.Errorf("direct question = %q, want suite binding WrongCo", last.Question)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`suite "s" { scenario "x" { expect VALID } }`, "has no ask"},
+		{`suite "s" { scenario "x" { ask "q" } }`, "has no expect"},
+		{`suite "s" { scenario "x" { ask "What about $nope?" expect VALID } }`, "unknown reference $nope"},
+		{`suite "s" { scenario "x" { ask "trailing $" expect VALID } }`, "stray '$'"},
+		{`suite "s" { policy "corpus:mini" }`, "declares no scenarios"},
+		{`suite "s" {
+  scenario "dup" { ask "a?" expect VALID }
+  scenario "dup" { ask "b?" expect VALID }
+}`, "duplicate scenario name"},
+		{`suite "s" { use ccpa-no-sale }`, `requires parameter "controller"`},
+	}
+	for _, c := range cases {
+		s, err := Parse("t.qq", c.src)
+		if err != nil {
+			t.Errorf("Parse(%q) = %v (should parse, fail at compile)", c.src, err)
+			continue
+		}
+		_, err = Compile(s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestInterpolateTable(t *testing.T) {
+	env := map[string]string{"a": "alpha", "b_2": "beta"}
+	ok := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"$a", "alpha"},
+		{"${a}", "alpha"},
+		{"$a$b_2", "alphabeta"},
+		{"${a}s", "alphas"},
+		{"$a?", "alpha?"},
+		{"$$", "$"},
+		{"cost $$10 for $a", "cost $10 for alpha"},
+	}
+	for _, c := range ok {
+		got, err := interpolate(c.in, env)
+		if err != nil || got != c.want {
+			t.Errorf("interpolate(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	for _, in := range []string{"$", "$ x", "${a", "${}", "$missing"} {
+		if _, err := interpolate(in, env); err == nil {
+			t.Errorf("interpolate(%q) should fail", in)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParse feeds arbitrary bytes through the lexer, parser and
+// compiler: none may panic, and every parse error must carry the file
+// position prefix the CLI prints.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add(exampleSuite)
+	f.Add(miniSuiteSrc)
+	f.Add(`suite "s" { scenario "x" { ask "q $a ${b} $$" expect UNKNOWN } }`)
+	f.Add(`suite "s" { use ccpa-no-sale(controller = "Acme") }`)
+	f.Add("suite \"s\" {\n  # comment\n  deadline 250ms\n}")
+	f.Add(`"unterminated`)
+	f.Add("$ { } ( ) = ,")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse("fuzz.qq", src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "fuzz.qq:") {
+				t.Fatalf("parse error lost its position: %v", err)
+			}
+			return
+		}
+		// A suite that parses must compile or fail cleanly — never panic.
+		cs, err := Compile(s)
+		if err != nil {
+			return
+		}
+		for _, c := range cs.Cases {
+			if c.Question == "" || c.Name == "" {
+				t.Fatalf("compiled case with empty name/question: %+v", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	// tokWord is a bare word: keywords, identifiers, verdicts, durations.
+	tokWord
+	// tokString is a double-quoted string literal (decoded).
+	tokString
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokEquals
+	tokComma
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokWord:
+		return "word"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEquals:
+		return "'='"
+	case tokComma:
+		return "','"
+	}
+	return "token"
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a positioned scan/parse/compile failure.
+type Error struct {
+	// File is the suite source name.
+	File string
+	// Line and Col locate the failure (1-based; 0 when unknown).
+	Line, Col int
+	// Msg describes it.
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Line == 0 {
+		return fmt.Sprintf("%s: %s", e.File, e.Msg)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// lexer scans .qq source into tokens.
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) *Error {
+	return &Error{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// peekByte returns the current byte without consuming (0 at EOF).
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// advance consumes one byte, tracking position.
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments eats whitespace plus '#' and '//' line comments.
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.peekByte() != '\n' {
+		l.advance()
+	}
+}
+
+// isWordByte reports bytes legal inside a bare word. Dashes allow pack
+// names like ccpa-no-sale; dots allow durations like 1.5s.
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch c {
+	case '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case '=':
+		l.advance()
+		return token{kind: tokEquals, text: "=", line: line, col: col}, nil
+	case ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case '"':
+		return l.scanString(line, col)
+	}
+	if isWordByte(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isWordByte(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokWord, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if !unicode.IsPrint(r) {
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+	return token{}, l.errorf(line, col, "unexpected character '%c'", r)
+}
+
+// scanString decodes a double-quoted literal with \" \\ \n \t escapes.
+// Newlines inside strings are errors: a runaway quote should fail on its
+// own line, not swallow the rest of the file.
+func (l *lexer) scanString(line, col int) (token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(line, col, "unterminated string")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+		case '\n':
+			return token{}, l.errorf(line, col, "unterminated string (newline in literal)")
+		case '\\':
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			esc := l.advance()
+			switch esc {
+			case '"', '\\':
+				b.WriteByte(esc)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return token{}, l.errorf(l.line, l.col-2, `unknown escape '\%c'`, esc)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}

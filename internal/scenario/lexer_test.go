@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// lexAll drains the lexer, failing the test on scan errors.
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer("test.qq", src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lexAll(t, `suite "a b" { use ccpa-no-sale(controller = "Acme", x = "y") deadline 1.5s }`)
+	kinds := []tokenKind{
+		tokWord, tokString, tokLBrace,
+		tokWord, tokWord, tokLParen, tokWord, tokEquals, tokString, tokComma,
+		tokWord, tokEquals, tokString, tokRParen,
+		tokWord, tokWord, tokRBrace,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %v %q, want kind %v", i, toks[i].kind, toks[i].text, k)
+		}
+	}
+	if toks[1].text != "a b" {
+		t.Errorf("string token = %q", toks[1].text)
+	}
+	if toks[4].text != "ccpa-no-sale" {
+		t.Errorf("dashed word = %q", toks[4].text)
+	}
+	if toks[15].text != "1.5s" {
+		t.Errorf("duration word = %q", toks[15].text)
+	}
+}
+
+func TestLexerCommentsAndPositions(t *testing.T) {
+	src := "# line one\n// line two\nsuite \"s\" {}\n"
+	toks := lexAll(t, src)
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if toks[0].line != 3 || toks[0].col != 1 {
+		t.Errorf("suite keyword at %d:%d, want 3:1", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 3 || toks[1].col != 7 {
+		t.Errorf("name string at %d:%d, want 3:7", toks[1].line, toks[1].col)
+	}
+}
+
+func TestLexerStringEscapes(t *testing.T) {
+	toks := lexAll(t, `"a\"b\\c\nd\te"`)
+	if len(toks) != 1 || toks[0].text != "a\"b\\c\nd\te" {
+		t.Fatalf("escaped string = %+v", toks)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		"\"newline\nin string\"",
+		`"bad \x escape"`,
+		`@`,
+	} {
+		l := newLexer("bad.qq", src)
+		var err error
+		for err == nil {
+			var tok token
+			tok, err = l.next()
+			if err == nil && tok.kind == tokEOF {
+				t.Fatalf("lex %q: expected error, got EOF", src)
+			}
+		}
+		if !strings.HasPrefix(err.Error(), "bad.qq:") {
+			t.Errorf("error %q should carry file position", err)
+		}
+	}
+}

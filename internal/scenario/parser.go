@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+// Parse reads one suite from src. file names the source in errors and
+// reports; it is not opened.
+func Parse(file, src string) (*Suite, error) {
+	p := &parser{lex: newLexer(file, src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	s, err := p.parseSuite()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.unexpected("end of input")
+	}
+	return s, nil
+}
+
+// parser is a one-token-lookahead recursive-descent parser.
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) prime() error { return p.advance() }
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(t token, format string, args ...any) *Error {
+	return p.lex.errorf(t.line, t.col, format, args...)
+}
+
+func (p *parser) unexpected(want string) *Error {
+	got := p.tok.kind.String()
+	if p.tok.kind == tokWord || p.tok.kind == tokString {
+		got += " \"" + p.tok.text + "\""
+	}
+	return p.errorf(p.tok, "expected %s, got %s", want, got)
+}
+
+// expect consumes a token of the given kind and returns it.
+func (p *parser) expect(kind tokenKind, want string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.unexpected(want)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// keyword consumes a specific bare word.
+func (p *parser) keyword(word string) error {
+	if p.tok.kind != tokWord || p.tok.text != word {
+		return p.unexpected("'" + word + "'")
+	}
+	return p.advance()
+}
+
+func (p *parser) parseSuite() (*Suite, error) {
+	if err := p.keyword("suite"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokString, "suite name string")
+	if err != nil {
+		return nil, err
+	}
+	if name.text == "" {
+		return nil, p.errorf(name, "suite name must not be empty")
+	}
+	s := &Suite{Name: name.text, File: p.lex.file, Bindings: map[string]Binding{}}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return nil, p.unexpected("'}' closing the suite")
+		}
+		if err := p.parseItem(s); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseItem(s *Suite) error {
+	if p.tok.kind != tokWord {
+		return p.unexpected("a suite item (policy, deadline, actor, data, use, scenario)")
+	}
+	kw := p.tok
+	switch kw.text {
+	case "policy":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		v, err := p.expect(tokString, "policy source string")
+		if err != nil {
+			return err
+		}
+		if s.Policy != "" {
+			return p.errorf(kw, "duplicate policy declaration")
+		}
+		if v.text == "" {
+			return p.errorf(v, "policy source must not be empty")
+		}
+		s.Policy = v.text
+		return nil
+
+	case "deadline":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		v, err := p.expect(tokWord, "duration (e.g. 5s, 500ms)")
+		if err != nil {
+			return err
+		}
+		d, perr := time.ParseDuration(v.text)
+		if perr != nil || d <= 0 {
+			return p.errorf(v, "invalid deadline %q (want a positive duration like 5s)", v.text)
+		}
+		if s.Deadline != 0 {
+			return p.errorf(kw, "duplicate deadline declaration")
+		}
+		s.Deadline = d
+		return nil
+
+	case "actor", "data":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		name, err := p.expect(tokWord, kw.text+" alias name")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokEquals, "'='"); err != nil {
+			return err
+		}
+		val, err := p.expect(tokString, "bound phrase string")
+		if err != nil {
+			return err
+		}
+		if prev, dup := s.Bindings[name.text]; dup {
+			return p.errorf(name, "duplicate binding %q (first declared on line %d)", name.text, prev.Line)
+		}
+		if val.text == "" {
+			return p.errorf(val, "binding %q must not be empty", name.text)
+		}
+		s.Bindings[name.text] = Binding{Kind: kw.text, Name: name.text, Value: val.text, Line: name.line}
+		return nil
+
+	case "use":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		pack, err := p.expect(tokWord, "rule pack name")
+		if err != nil {
+			return err
+		}
+		u := Use{Pack: pack.text, Params: map[string]string{}, Line: pack.line}
+		if p.tok.kind == tokLParen {
+			if err := p.parseParams(&u); err != nil {
+				return err
+			}
+		}
+		s.Uses = append(s.Uses, u)
+		return nil
+
+	case "scenario":
+		sc, err := p.parseScenario()
+		if err != nil {
+			return err
+		}
+		s.Scenarios = append(s.Scenarios, sc)
+		return nil
+	}
+	return p.unexpected("a suite item (policy, deadline, actor, data, use, scenario)")
+}
+
+func (p *parser) parseParams(u *Use) error {
+	if err := p.advance(); err != nil { // '('
+		return err
+	}
+	for p.tok.kind != tokRParen {
+		name, err := p.expect(tokWord, "parameter name")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokEquals, "'='"); err != nil {
+			return err
+		}
+		val, err := p.expect(tokString, "parameter value string")
+		if err != nil {
+			return err
+		}
+		if _, dup := u.Params[name.text]; dup {
+			return p.errorf(name, "duplicate parameter %q", name.text)
+		}
+		u.Params[name.text] = val.text
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.tok.kind != tokRParen {
+			return p.unexpected("',' or ')'")
+		}
+	}
+	return p.advance() // ')'
+}
+
+func (p *parser) parseScenario() (Scenario, error) {
+	if err := p.advance(); err != nil { // 'scenario'
+		return Scenario{}, err
+	}
+	name, err := p.expect(tokString, "scenario name string")
+	if err != nil {
+		return Scenario{}, err
+	}
+	if name.text == "" {
+		return Scenario{}, p.errorf(name, "scenario name must not be empty")
+	}
+	sc := Scenario{Name: name.text, Line: name.line}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return Scenario{}, err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind != tokWord {
+			return Scenario{}, p.unexpected("a scenario item (ask, expect, tag)")
+		}
+		kw := p.tok
+		switch kw.text {
+		case "ask":
+			if err := p.advance(); err != nil {
+				return Scenario{}, err
+			}
+			q, err := p.expect(tokString, "question string")
+			if err != nil {
+				return Scenario{}, err
+			}
+			if sc.Ask != "" {
+				return Scenario{}, p.errorf(kw, "scenario %q has more than one ask", sc.Name)
+			}
+			if q.text == "" {
+				return Scenario{}, p.errorf(q, "ask must not be empty")
+			}
+			sc.Ask = q.text
+
+		case "expect":
+			if err := p.advance(); err != nil {
+				return Scenario{}, err
+			}
+			v, err := p.expect(tokWord, "verdict (VALID, INVALID or UNKNOWN)")
+			if err != nil {
+				return Scenario{}, err
+			}
+			if sc.HasExpect {
+				return Scenario{}, p.errorf(kw, "scenario %q has more than one expect", sc.Name)
+			}
+			switch v.text {
+			case "VALID":
+				sc.Expect = query.Valid
+			case "INVALID":
+				sc.Expect = query.Invalid
+			case "UNKNOWN":
+				sc.Expect = query.Unknown
+			default:
+				return Scenario{}, p.errorf(v, "unknown verdict %q (want VALID, INVALID or UNKNOWN)", v.text)
+			}
+			sc.HasExpect = true
+
+		case "tag":
+			if err := p.advance(); err != nil {
+				return Scenario{}, err
+			}
+			tag, err := p.expect(tokString, "tag string")
+			if err != nil {
+				return Scenario{}, err
+			}
+			sc.Tags = append(sc.Tags, tag.text)
+
+		default:
+			return Scenario{}, p.unexpected("a scenario item (ask, expect, tag)")
+		}
+	}
+	return sc, p.advance() // '}'
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+const exampleSuite = `
+# Acme compliance-as-code suite.
+suite "acme-baseline" {
+  policy "corpus:mini"
+  deadline 5s
+
+  actor advertisers = "advertising partners"
+  data  email       = "email address"
+
+  use ccpa-no-sale(controller = "Acme")
+
+  scenario "email reaches advertisers" {
+    ask "Does Acme share my $email with $advertisers?"
+    expect VALID
+    tag "sharing"
+    tag "baseline"
+  }
+
+  scenario "stays ambiguous" {
+    ask "Does Acme share my usage data with service providers?"
+    expect UNKNOWN
+  }
+}
+`
+
+func TestParseSuite(t *testing.T) {
+	s, err := Parse("acme.qq", exampleSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "acme-baseline" || s.File != "acme.qq" {
+		t.Errorf("suite = %q file %q", s.Name, s.File)
+	}
+	if s.Policy != "corpus:mini" {
+		t.Errorf("policy = %q", s.Policy)
+	}
+	if s.Deadline != 5*time.Second {
+		t.Errorf("deadline = %v", s.Deadline)
+	}
+	if len(s.Bindings) != 2 {
+		t.Errorf("bindings = %+v", s.Bindings)
+	}
+	if b := s.Bindings["advertisers"]; b.Kind != "actor" || b.Value != "advertising partners" {
+		t.Errorf("advertisers binding = %+v", b)
+	}
+	if len(s.Uses) != 1 || s.Uses[0].Pack != "ccpa-no-sale" || s.Uses[0].Params["controller"] != "Acme" {
+		t.Errorf("uses = %+v", s.Uses)
+	}
+	if len(s.Scenarios) != 2 {
+		t.Fatalf("scenarios = %+v", s.Scenarios)
+	}
+	sc := s.Scenarios[0]
+	if sc.Name != "email reaches advertisers" || sc.Expect != query.Valid || !sc.HasExpect {
+		t.Errorf("scenario 0 = %+v", sc)
+	}
+	if len(sc.Tags) != 2 || sc.Tags[0] != "sharing" {
+		t.Errorf("tags = %v", sc.Tags)
+	}
+	if s.Scenarios[1].Expect != query.Unknown {
+		t.Errorf("scenario 1 expect = %v", s.Scenarios[1].Expect)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the error
+	}{
+		{``, "expected 'suite'"},
+		{`suite {}`, "suite name"},
+		{`suite "" {}`, "must not be empty"},
+		{`suite "s"`, "'{'"},
+		{`suite "s" {`, "'}'"},
+		{`suite "s" { bogus }`, "suite item"},
+		{`suite "s" {} trailing`, "end of input"},
+		{`suite "s" { policy "a" policy "b" }`, "duplicate policy"},
+		{`suite "s" { deadline nope }`, "invalid deadline"},
+		{`suite "s" { deadline -3s }`, "invalid deadline"},
+		{`suite "s" { deadline 1s deadline 2s }`, "duplicate deadline"},
+		{`suite "s" { actor a = "x" data a = "y" }`, "duplicate binding"},
+		{`suite "s" { actor a = "" }`, "must not be empty"},
+		{`suite "s" { use p(a = "1" a = "2") }`, "',' or ')'"},
+		{`suite "s" { use p(a = "1", a = "2") }`, "duplicate parameter"},
+		{`suite "s" { scenario "x" { ask "q" ask "q2" expect VALID } }`, "more than one ask"},
+		{`suite "s" { scenario "x" { expect VALID expect VALID } }`, "more than one expect"},
+		{`suite "s" { scenario "x" { expect MAYBE } }`, "unknown verdict"},
+		{`suite "s" { scenario "x" { frobnicate } }`, "scenario item"},
+		{`suite "s" { scenario "" {} }`, "must not be empty"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.qq", c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+		var perr *Error
+		if !errorAs(err, &perr) {
+			t.Errorf("Parse(%q) error is %T, want *Error", c.src, err)
+		} else if perr.File != "t.qq" {
+			t.Errorf("Parse(%q) error file = %q", c.src, perr.File)
+		}
+	}
+}
+
+// errorAs avoids importing errors for one call site.
+func errorAs(err error, target **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("pos.qq", "suite \"s\" {\n  scenario \"x\" {\n    expect MAYBE\n  }\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "pos.qq:3:12:") {
+		t.Errorf("error position = %q, want pos.qq:3:12", err)
+	}
+}

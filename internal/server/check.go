@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"github.com/privacy-quagmire/quagmire/internal/query"
+	"github.com/privacy-quagmire/quagmire/internal/scenario"
+)
+
+// checkRequest is the POST /v1/policies/{id}/check body: a scenario suite
+// in the compliance-as-code DSL, executed against the policy in the URL.
+type checkRequest struct {
+	// Suite is the .qq suite source. Its `policy` declaration, if any, is
+	// ignored — the URL names the policy under check.
+	Suite string `json:"suite"`
+	// Version selects a stored version (0 = the live latest).
+	Version int `json:"version,omitempty"`
+	// Format selects the response rendering: "json" (default) or "junit".
+	Format string `json:"format,omitempty"`
+}
+
+// checkResponse wraps the scenario report with the policy coordinates it
+// ran against.
+type checkResponse struct {
+	PolicyID string          `json:"policy_id"`
+	Version  int             `json:"version"`
+	Report   scenario.Report `json:"report"`
+}
+
+// handleCheck executes a compliance-as-code scenario suite against a
+// stored policy. The response always carries HTTP 200 with the full
+// report — a failing scenario is a result, not a transport error; CI
+// gating on the verdicts is the CLI's job.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req checkRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Suite == "" {
+		writeError(w, http.StatusBadRequest, "suite is required")
+		return
+	}
+	if req.Format != "" && req.Format != "json" && req.Format != "junit" {
+		writeError(w, http.StatusBadRequest, "unknown format %q (json|junit)", req.Format)
+		return
+	}
+	parsed, err := scenario.Parse("request.qq", req.Suite)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "suite parse: %v", err)
+		return
+	}
+	cs, err := scenario.Compile(parsed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "suite compile: %v", err)
+		return
+	}
+
+	eng, version, ok := s.checkEngine(w, e, req.Version)
+	if !ok {
+		return
+	}
+	res, err := scenario.Execute(r.Context(), eng, cs, scenario.ExecOptions{
+		Obs:    s.pipeline.Obs(),
+		Policy: fmt.Sprintf("store:%s@%d", e.meta.ID, version),
+	})
+	if err != nil {
+		s.writeComputeError(w, r, "scenario execution failed", err)
+		return
+	}
+	results := []*scenario.SuiteResult{res}
+	if req.Format == "junit" {
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := scenario.WriteJUnit(w, results); err != nil && s.logger != nil {
+			s.logger.Printf("server: junit render: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, checkResponse{
+		PolicyID: e.meta.ID,
+		Version:  version,
+		Report:   scenario.NewReport(results),
+	})
+}
+
+// checkEngine resolves the engine a check runs on: the live analysis for
+// the latest version, or a decode of the requested historical version.
+func (s *Server) checkEngine(w http.ResponseWriter, e policySnapshot, version int) (*query.Engine, int, bool) {
+	if version == 0 || version == e.version {
+		return e.analysis.Engine, e.version, true
+	}
+	v, err := s.store.Version(e.meta.ID, version)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "policy %q version %d: %v", e.meta.ID, version, err)
+		return nil, 0, false
+	}
+	a, err := s.pipeline.DecodeAnalysis(v.Payload)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "decode version %d: %v", version, err)
+		return nil, 0, false
+	}
+	return a.Engine, version, true
+}

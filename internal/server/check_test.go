@@ -1,0 +1,166 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/scenario"
+)
+
+const checkSuiteSrc = `suite "acme-api" {
+  use ccpa-no-sale(controller = "Acme")
+  scenario "collection disclosed" {
+    ask "Does Acme collect my device identifiers?"
+    expect VALID
+  }
+}`
+
+func TestCheckEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	var out struct {
+		PolicyID string          `json:"policy_id"`
+		Version  int             `json:"version"`
+		Report   scenario.Report `json:"report"`
+	}
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/check",
+		map[string]any{"suite": checkSuiteSrc}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check = %d", resp.StatusCode)
+	}
+	if out.PolicyID != id || out.Version != 1 {
+		t.Errorf("coordinates = %s@%d", out.PolicyID, out.Version)
+	}
+	if !out.Report.OK || out.Report.Totals.Passed != 3 {
+		t.Errorf("report = %+v", out.Report)
+	}
+	if out.Report.Format != scenario.ReportFormat {
+		t.Errorf("format = %q", out.Report.Format)
+	}
+	if len(out.Report.Suites) != 1 || out.Report.Suites[0].Policy != "store:"+id+"@1" {
+		t.Errorf("suites = %+v", out.Report.Suites)
+	}
+}
+
+func TestCheckEndpointFailureIsAResult(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	var out struct {
+		Report scenario.Report `json:"report"`
+	}
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/check",
+		map[string]any{"suite": `suite "red" {
+  scenario "wrong" { ask "Does Acme sell my personal information?" expect VALID }
+}`}, &out)
+	// A verdict mismatch is a 200 with ok=false, not a transport error.
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check = %d", resp.StatusCode)
+	}
+	if out.Report.OK || out.Report.Totals.Failed != 1 {
+		t.Errorf("report = %+v", out.Report)
+	}
+}
+
+func TestCheckEndpointJUnit(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/check",
+		map[string]any{"suite": checkSuiteSrc, "format": "junit"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/xml") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`<testsuites name="quagmire scenarios"`, `tests="3"`, `failures="0"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("junit body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestCheckEndpointVersionPinning(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	// Version 2 drops the email-sharing sentence, flipping that verdict.
+	edited := strings.Replace(corpus.Mini(),
+		"We share email addresses with advertising partners.", "", 1)
+	if edited == corpus.Mini() {
+		t.Fatal("fixture sentence not found in Mini corpus")
+	}
+	var upd map[string]any
+	resp := doJSON(t, "PUT", ts.URL+"/v1/policies/"+id, map[string]string{"text": edited}, &upd)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update = %d %v", resp.StatusCode, upd)
+	}
+
+	suite := `suite "email" {
+  scenario "email reaches advertisers" {
+    ask "Does Acme share my email address with advertising partners?"
+    expect VALID
+  }
+}`
+	var v1 struct {
+		Version int             `json:"version"`
+		Report  scenario.Report `json:"report"`
+	}
+	resp = doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/check",
+		map[string]any{"suite": suite, "version": 1}, &v1)
+	if resp.StatusCode != http.StatusOK || v1.Version != 1 {
+		t.Fatalf("v1 check = %d %+v", resp.StatusCode, v1)
+	}
+	if !v1.Report.OK {
+		t.Errorf("version 1 should still pass: %+v", v1.Report)
+	}
+	var v2 struct {
+		Version int             `json:"version"`
+		Report  scenario.Report `json:"report"`
+	}
+	resp = doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/check",
+		map[string]any{"suite": suite}, &v2)
+	if resp.StatusCode != http.StatusOK || v2.Version != 2 {
+		t.Fatalf("v2 check = %d %+v", resp.StatusCode, v2)
+	}
+	if v2.Report.OK {
+		t.Errorf("version 2 dropped the disclosure, check should fail: %+v", v2.Report)
+	}
+}
+
+func TestCheckEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	id := createPolicy(t, ts)["id"].(string)
+
+	cases := []struct {
+		body   map[string]any
+		status int
+	}{
+		{map[string]any{}, http.StatusBadRequest},                                         // no suite
+		{map[string]any{"suite": `suite "b" {`}, http.StatusBadRequest},                   // parse error
+		{map[string]any{"suite": `suite "b" { policy "x" }`}, http.StatusBadRequest},      // no scenarios
+		{map[string]any{"suite": checkSuiteSrc, "format": "yaml"}, http.StatusBadRequest}, // bad format
+		{map[string]any{"suite": checkSuiteSrc, "version": 99}, http.StatusNotFound},      // no such version
+		{map[string]any{"suite": `suite "b" { use nope }`}, http.StatusBadRequest},        // unknown pack
+	}
+	for _, c := range cases {
+		resp := doJSON(t, "POST", ts.URL+"/v1/policies/"+id+"/check", c.body, nil)
+		if resp.StatusCode != c.status {
+			t.Errorf("check(%v) = %d, want %d", c.body, resp.StatusCode, c.status)
+		}
+	}
+	// Unknown policy is 404.
+	resp := doJSON(t, "POST", ts.URL+"/v1/policies/nope/check", map[string]any{"suite": checkSuiteSrc}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown policy = %d", resp.StatusCode)
+	}
+}

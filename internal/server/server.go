@@ -206,6 +206,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/policies/{id}/vague", s.readClass(s.handleVague))
 	mux.HandleFunc("POST /v1/policies/{id}/query", s.solverClass(s.handleQuery))
 	mux.HandleFunc("POST /v1/policies/{id}/verify-batch", s.solverClass(s.handleVerifyBatch))
+	mux.HandleFunc("POST /v1/policies/{id}/check", s.solverClass(s.handleCheck))
 	mux.HandleFunc("POST /v1/policies/{id}/explore", s.solverClass(s.handleExplore))
 	mux.HandleFunc("GET /v1/policies/{id}/report", s.readClass(s.handleReport))
 	mux.HandleFunc("GET /v1/policies/{id}/dot", s.readClass(s.handleDOT))
