@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/core"
 	"github.com/privacy-quagmire/quagmire/internal/corpus"
@@ -74,41 +75,14 @@ func runCheck(ctx context.Context, args []string, maxInst, workers int) error {
 	r := &checkRunner{ctx: ctx, pipeline: p, dataDir: *dataDir, engines: map[string]*query.Engine{}}
 	defer r.close()
 
-	var results []*scenario.SuiteResult
+	// A suite that fails before producing case results — unreadable file,
+	// parse or compile error, unresolvable policy, execution abort — is
+	// recorded as an errored suite and the run continues, so one broken
+	// suite costs its own verdicts, not the whole report: -junit/-json
+	// artifacts are always written, with the failure in them.
+	results := make([]*scenario.SuiteResult, 0, len(files))
 	for _, file := range files {
-		src, err := os.ReadFile(file)
-		if err != nil {
-			return err
-		}
-		parsed, err := scenario.Parse(file, string(src))
-		if err != nil {
-			return err
-		}
-		cs, err := scenario.Compile(parsed)
-		if err != nil {
-			return err
-		}
-		ref := override
-		if ref == "" {
-			ref = cs.Policy
-		}
-		if ref == "" {
-			return fmt.Errorf("%s: suite %q declares no policy and none was given (-policy/-policy-file/-corpus)", file, cs.Name)
-		}
-		eng, err := r.engineFor(ref, filepath.Dir(file))
-		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
-		}
-		res, err := scenario.Execute(ctx, eng, cs, scenario.ExecOptions{
-			Deadline: *deadline,
-			Workers:  workers,
-			Obs:      p.Obs(),
-			Policy:   ref,
-		})
-		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
-		}
-		results = append(results, res)
+		results = append(results, runSuite(ctx, r, file, override, *deadline, workers))
 	}
 
 	fmt.Print(scenario.RenderText(results))
@@ -120,6 +94,45 @@ func runCheck(ctx context.Context, args []string, maxInst, workers int) error {
 		return fmt.Errorf("%d scenario(s) failed, %d errored", rep.Totals.Failed, rep.Totals.Errored)
 	}
 	return nil
+}
+
+// runSuite reads, compiles and executes one suite file. Any failure along
+// the way comes back as an errored SuiteResult, never an early abort.
+func runSuite(ctx context.Context, r *checkRunner, file, override string, deadline time.Duration, workers int) *scenario.SuiteResult {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return scenario.ErroredSuite(file, "", err)
+	}
+	parsed, err := scenario.Parse(file, string(src))
+	if err != nil {
+		return scenario.ErroredSuite(file, "", err)
+	}
+	cs, err := scenario.Compile(parsed)
+	if err != nil {
+		return scenario.ErroredSuite(file, parsed.Name, err)
+	}
+	ref := override
+	if ref == "" {
+		ref = cs.Policy
+	}
+	if ref == "" {
+		return scenario.ErroredSuite(file, cs.Name,
+			fmt.Errorf("suite declares no policy and none was given (-policy/-policy-file/-corpus)"))
+	}
+	eng, err := r.engineFor(ref, filepath.Dir(file))
+	if err != nil {
+		return scenario.ErroredSuite(file, cs.Name, err)
+	}
+	res, err := scenario.Execute(ctx, eng, cs, scenario.ExecOptions{
+		Deadline: deadline,
+		Workers:  workers,
+		Obs:      r.pipeline.Obs(),
+		Policy:   ref,
+	})
+	if err != nil {
+		return scenario.ErroredSuite(file, cs.Name, err)
+	}
+	return res
 }
 
 // overrideRef folds the three policy-selection flags into one canonical
@@ -191,15 +204,24 @@ func (r *checkRunner) close() {
 
 // engineFor resolves one canonical policy reference. Relative file:
 // references resolve against baseDir (the suite file's directory), so a
-// suite and its policy fixture can travel together.
+// suite and its policy fixture can travel together. file: cache keys are
+// absolutized and cleaned, so "file:./p.txt", "file:p.txt" and the -policy-file
+// spelling of the same path all share one engine.
 func (r *checkRunner) engineFor(ref, baseDir string) (*query.Engine, error) {
 	kind, arg, ok := strings.Cut(ref, ":")
 	if !ok {
 		return nil, fmt.Errorf("invalid policy reference %q (want corpus:<name>, file:<path> or store:<id>[@n])", ref)
 	}
 	key := ref
-	if kind == "file" && !filepath.IsAbs(arg) {
-		key = "file:" + filepath.Join(baseDir, arg)
+	if kind == "file" {
+		path := arg
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		if abs, err := filepath.Abs(path); err == nil {
+			path = abs
+		}
+		key = "file:" + filepath.Clean(path)
 	}
 	if eng, ok := r.engines[key]; ok {
 		return eng, nil

@@ -9,6 +9,7 @@ import (
 
 	"github.com/privacy-quagmire/quagmire/internal/core"
 	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/query"
 	"github.com/privacy-quagmire/quagmire/internal/store"
 )
 
@@ -208,5 +209,85 @@ func TestCheckConfigErrors(t *testing.T) {
 	// An empty directory is an error, not a silent pass.
 	if _, err := capture(t, func() error { return run([]string{"check", "-suite", t.TempDir()}) }); err == nil {
 		t.Error("empty suite directory should fail")
+	}
+}
+
+func TestCheckArtifactsWrittenWhenSuiteErrors(t *testing.T) {
+	// One good suite, one that fails compilation (unknown pack). The run
+	// must exit non-zero AND still write both artifacts, with the good
+	// suite's verdicts intact and the broken suite recorded as errored —
+	// a mid-run failure used to abort before any report was written.
+	dir := t.TempDir()
+	files := map[string]string{
+		"a_good.qq": `suite "good" { policy "corpus:mini" scenario "s" { ask "Does Acme collect my device identifiers?" expect VALID } }`,
+		"b_bad.qq":  `suite "bad" { policy "corpus:mini" use nonexistent-pack }`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	junit := filepath.Join(t.TempDir(), "report.xml")
+	jsonOut := filepath.Join(t.TempDir(), "report.json")
+	out, err := capture(t, func() error {
+		return run([]string{"check", "-suite", dir, "-junit", junit, "-json", jsonOut})
+	})
+	if err == nil {
+		t.Fatalf("run with a broken suite must fail:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "1 errored") {
+		t.Errorf("error should count the broken suite: %v", err)
+	}
+	if !strings.Contains(out, "1 passed") || !strings.Contains(out, "1 errored") {
+		t.Errorf("text output should include both suites:\n%s", out)
+	}
+	xml, rerr := os.ReadFile(junit)
+	if rerr != nil {
+		t.Fatalf("junit artifact missing: %v", rerr)
+	}
+	for _, want := range []string{`<testsuite name="good"`, `<testsuite name="bad"`, "nonexistent-pack"} {
+		if !strings.Contains(string(xml), want) {
+			t.Errorf("junit missing %q:\n%s", want, xml)
+		}
+	}
+	js, rerr := os.ReadFile(jsonOut)
+	if rerr != nil {
+		t.Fatalf("json artifact missing: %v", rerr)
+	}
+	for _, want := range []string{`"ok": false`, `"errored": 1`, `"suite": "good"`, `"suite": "bad"`} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("json missing %q:\n%s", want, js)
+		}
+	}
+}
+
+func TestCheckEngineCacheKeyCanonicalized(t *testing.T) {
+	// "file:p.txt", "file:./p.txt" and "file:sub/../p.txt" are the same
+	// policy; the engine cache must hold one entry, not three — each
+	// spelling used to trigger a full re-analysis.
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.txt"), []byte(corpus.Mini()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &checkRunner{ctx: context.Background(), pipeline: pipe, engines: map[string]*query.Engine{}}
+	defer r.close()
+	for _, ref := range []string{"file:p.txt", "file:./p.txt", "file:sub/../p.txt"} {
+		if _, err := r.engineFor(ref, dir); err != nil {
+			t.Fatalf("engineFor(%q): %v", ref, err)
+		}
+	}
+	if len(r.engines) != 1 {
+		keys := make([]string, 0, len(r.engines))
+		for k := range r.engines {
+			keys = append(keys, k)
+		}
+		t.Errorf("engine cache holds %d entries, want 1: %v", len(r.engines), keys)
 	}
 }

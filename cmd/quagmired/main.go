@@ -7,12 +7,21 @@
 //	quagmired -addr :8080 [-data DIR] [-max-instantiations N] [-preload]
 //	          [-read-timeout D] [-solve-timeout D] [-max-solves N]
 //	          [-solve-queue N] [-queue-wait D] [-drain-timeout D]
+//	          [-lazy-recovery=BOOL] [-warm-workers N]
 //
 // With -data the policy store is durable: every policy version is logged
 // to DIR's write-ahead log before it is acknowledged, a restart recovers
-// the full registry (the log is replayed, query engines rebuilt), and a
-// clean shutdown compacts the log into a snapshot. Without -data policies
-// live in memory and die with the process.
+// the full registry, and a clean shutdown compacts the log into a
+// snapshot. Without -data policies live in memory and die with the
+// process.
+//
+// Recovery is lazy by default: boot indexes the store without decoding
+// payloads (boot-to-ready is independent of policy count), each policy's
+// query engine builds on its first query, and a -warm-workers pool fills
+// the remaining engines in the background. A payload that fails to decode
+// quarantines that one policy (served as 503, listed with a marker,
+// /healthz degraded) instead of refusing boot. -lazy-recovery=false
+// restores the eager rebuild-everything-before-serving behavior.
 //
 // With -preload the bundled TikTak and MetaBook corpora are analyzed and
 // registered at startup, so the API is immediately explorable:
@@ -54,6 +63,8 @@ func main() {
 	flag.IntVar(&cfg.solveQueue, "solve-queue", 0, "solver requests allowed to queue for a slot (0 = 8×max-solves, negative = none)")
 	flag.DurationVar(&cfg.queueWait, "queue-wait", 0, "longest a queued solver request waits before a 429 (0 = 2s)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.BoolVar(&cfg.lazyRecovery, "lazy-recovery", true, "index stored policies at boot and build engines on demand (false = rebuild everything before serving)")
+	flag.IntVar(&cfg.warmWorkers, "warm-workers", 0, "background engine-warmer pool size after lazy recovery (0 = default, negative = off)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "quagmired ", log.LstdFlags)
@@ -69,6 +80,8 @@ type serveConfig struct {
 	readTimeout, solveTimeout time.Duration
 	maxSolves, solveQueue     int
 	queueWait, drainTimeout   time.Duration
+	lazyRecovery              bool
+	warmWorkers               int
 }
 
 func run(cfg serveConfig, logger *log.Logger) error {
@@ -108,10 +121,17 @@ func run(cfg serveConfig, logger *log.Logger) error {
 			MaxQueue:      cfg.solveQueue,
 			QueueWait:     cfg.queueWait,
 		},
+		Recovery: server.RecoveryOptions{
+			Eager:       !cfg.lazyRecovery,
+			WarmWorkers: cfg.warmWorkers,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	// Stop the background warmer before the store closes (deferred above
+	// runs last), whether we exit through drain or a listener error.
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,

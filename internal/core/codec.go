@@ -79,11 +79,15 @@ func rebuildBySegment(ex *extract.Extraction) {
 	}
 }
 
-// DecodeAnalysis restores an encoded analysis and rebuilds its derived
-// state — the practice index and a query engine wired to this pipeline's
-// limits, workers, caches and metrics — so a restored policy answers
-// queries exactly like a freshly analyzed one.
-func (p *Pipeline) DecodeAnalysis(data []byte) (*Analysis, error) {
+// DecodeAnalysisEnvelope restores an encoded analysis up to but not
+// including the query engine: the envelope is parsed and validated, the
+// practice index rebuilt, and the knowledge graph reassembled. The
+// returned Analysis has a nil Engine — callers that only need metadata
+// (version diffing, warm-order planning) stop here; callers that will
+// serve queries attach an engine with Pipeline.BuildEngine. The split is
+// what makes lazy recovery cheap: the store can be indexed and triaged
+// without paying engine construction per policy.
+func DecodeAnalysisEnvelope(data []byte) (*Analysis, error) {
 	env, err := decodeEnvelope(data)
 	if err != nil {
 		return nil, err
@@ -94,8 +98,29 @@ func (p *Pipeline) DecodeAnalysis(data []byte) (*Analysis, error) {
 		DataH:   env.DataH,
 		EntityH: env.EntityH,
 	}
-	a := &Analysis{Extraction: env.Extraction, KG: k}
-	a.Engine = p.newEngine(k)
+	return &Analysis{Extraction: env.Extraction, KG: k}, nil
+}
+
+// BuildEngine attaches a query engine — wired to this pipeline's limits,
+// workers, caches and metrics — to a decoded analysis. Idempotent: an
+// analysis that already has an engine is left untouched.
+func (p *Pipeline) BuildEngine(a *Analysis) {
+	if a.Engine == nil {
+		a.Engine = p.newEngine(a.KG)
+	}
+}
+
+// DecodeAnalysis restores an encoded analysis and rebuilds its derived
+// state — the practice index and a query engine wired to this pipeline's
+// limits, workers, caches and metrics — so a restored policy answers
+// queries exactly like a freshly analyzed one. It is
+// DecodeAnalysisEnvelope followed by BuildEngine.
+func (p *Pipeline) DecodeAnalysis(data []byte) (*Analysis, error) {
+	a, err := DecodeAnalysisEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	p.BuildEngine(a)
 	return a, nil
 }
 

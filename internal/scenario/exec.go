@@ -70,6 +70,22 @@ type SuiteResult struct {
 // (expected-UNKNOWN skips do not fail a build).
 func (r *SuiteResult) OK() bool { return r.Failed == 0 && r.Errored == 0 }
 
+// ErroredSuite wraps a suite-level failure — a file that would not read,
+// parse or compile, or a run that died before producing case results —
+// as a one-case errored SuiteResult, so reports and CI artifacts record
+// the broken suite alongside the ones that did run instead of losing the
+// whole report to it.
+func ErroredSuite(file, name string, err error) *SuiteResult {
+	if name == "" {
+		name = file
+	}
+	return &SuiteResult{
+		Suite: name, File: file,
+		Cases:   []CaseResult{{Case: Case{Name: "suite"}, Err: err}},
+		Errored: 1,
+	}
+}
+
 // ExecOptions configures Execute.
 type ExecOptions struct {
 	// Deadline bounds each case's verification; it overrides the suite's

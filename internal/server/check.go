@@ -1,11 +1,13 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 
 	"github.com/privacy-quagmire/quagmire/internal/query"
 	"github.com/privacy-quagmire/quagmire/internal/scenario"
+	"github.com/privacy-quagmire/quagmire/internal/store"
 )
 
 // checkRequest is the POST /v1/policies/{id}/check body: a scenario suite
@@ -89,19 +91,20 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 }
 
 // checkEngine resolves the engine a check runs on: the live analysis for
-// the latest version, or a decode of the requested historical version.
+// the latest version, or — for a pinned historical version — the bounded
+// version-engine cache, so repeated pinned checks pay one decode per
+// (policy, version) instead of one per request.
 func (s *Server) checkEngine(w http.ResponseWriter, e policySnapshot, version int) (*query.Engine, int, bool) {
 	if version == 0 || version == e.version {
 		return e.analysis.Engine, e.version, true
 	}
-	v, err := s.store.Version(e.meta.ID, version)
+	a, err := s.versions.analysis(s, e.meta.ID, version)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "policy %q version %d: %v", e.meta.ID, version, err)
-		return nil, 0, false
-	}
-	a, err := s.pipeline.DecodeAnalysis(v.Payload)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "decode version %d: %v", version, err)
+		if errors.Is(err, store.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "policy %q version %d: %v", e.meta.ID, version, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "decode version %d: %v", version, err)
+		}
 		return nil, 0, false
 	}
 	return a.Engine, version, true

@@ -3,8 +3,11 @@
 // vague conditions, verified against natural-language compliance queries,
 // and updated incrementally across versions. Policies and their full
 // version history live in a store.PolicyStore — with the disk backend the
-// server recovers every policy (and its query engine) across restarts. A
-// raw SMT-LIB solving endpoint exposes the built-in solver. The server is
+// server recovers every policy across restarts: lazily by default (each
+// query engine builds on first demand, a background warmer fills the rest,
+// and a corrupt payload quarantines one policy instead of refusing boot;
+// see lazy.go), or eagerly on request. A raw SMT-LIB solving endpoint
+// exposes the built-in solver. The server is
 // self-contained over net/http (Go 1.22 pattern routing) with request
 // logging, body-size limits and JSON error envelopes.
 package server
@@ -28,9 +31,11 @@ import (
 	"time"
 
 	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/kg"
 	"github.com/privacy-quagmire/quagmire/internal/obs"
 	"github.com/privacy-quagmire/quagmire/internal/query"
 	"github.com/privacy-quagmire/quagmire/internal/report"
+	"github.com/privacy-quagmire/quagmire/internal/segment"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
 	"github.com/privacy-quagmire/quagmire/internal/store"
 )
@@ -58,20 +63,21 @@ type Server struct {
 	// leaves it nil.
 	testHookSolverAdmitted func(r *http.Request)
 
-	// mu orders store mutations with live-engine installs: writers hold it
+	// mu orders store mutations with live-cell installs: writers hold it
 	// across the store write and the live-map swap, readers across the
 	// store read and the live lookup, so the pair is always consistent.
+	// Cells themselves build outside this lock (see lazy.go).
 	mu   sync.RWMutex
-	live map[string]*liveAnalysis
-}
+	live map[string]*engineCell
 
-// liveAnalysis is the in-memory face of a stored policy: the decoded
-// analysis of its latest version plus the version count it corresponds to
-// (the compare-and-swap token for updates). Analyses are immutable once
-// published — updates install a new liveAnalysis, never mutate one.
-type liveAnalysis struct {
-	version  int
-	analysis *core.Analysis
+	// versions caches engines for historical stored versions (lazy.go).
+	versions *versionEngines
+
+	// Background warmer lifecycle (lazy.go): warmStop cancels it, warmDone
+	// closes when it exits, Close is idempotent through closeOnce.
+	warmStop  chan struct{}
+	warmDone  chan struct{}
+	closeOnce sync.Once
 }
 
 // Options configures the server.
@@ -98,11 +104,18 @@ type Options struct {
 	// wait queue, shedding excess with 429 + Retry-After. The zero value
 	// selects defaults; MaxConcurrent < 0 disables.
 	Admission AdmissionConfig
+	// Recovery selects lazy (default) or eager engine rebuild for stored
+	// policies, and sizes the background warmer (see lazy.go).
+	Recovery RecoveryOptions
 }
 
 // New constructs a server. When the store already holds policies (a
-// disk-backed store after a restart) their latest versions are decoded and
-// their query engines rebuilt before the server accepts traffic.
+// disk-backed store after a restart) they are indexed into lazy engine
+// cells: boot touches only metadata, each policy's engine builds on first
+// query (or via the background warmer), and a payload that fails to
+// decode quarantines that one policy instead of refusing boot. With
+// Recovery.Eager every engine is rebuilt before New returns, matching the
+// old behavior minus the boot abort.
 func New(opts Options) (*Server, error) {
 	if opts.Pipeline == nil {
 		return nil, fmt.Errorf("server: Options.Pipeline is required")
@@ -118,44 +131,68 @@ func New(opts Options) (*Server, error) {
 		store:    st,
 		timeouts: opts.Timeouts.withDefaults(),
 		adm:      newAdmission(opts.Admission, opts.Pipeline.Obs()),
-		live:     map[string]*liveAnalysis{},
+		live:     map[string]*engineCell{},
+		versions: newVersionEngines(versionEngineCacheSize),
 	}
 	if opts.MaxConcurrent > 0 {
 		srv.sem = make(chan struct{}, opts.MaxConcurrent)
 	}
-	if err := srv.recoverLive(); err != nil {
+	if err := srv.recoverLive(opts.Recovery); err != nil {
 		return nil, err
 	}
 	return srv, nil
 }
 
-// recoverLive rebuilds the live map from the store: each policy's latest
-// version is decoded and gets a fresh query engine. Store recovery proper
-// (snapshot load + WAL replay) already happened when the store was opened;
-// this is the rebuild phase layered on top.
-func (s *Server) recoverLive() error {
+// recoverLive rebuilds the live map from the store. Store recovery proper
+// (snapshot load + WAL replay) already happened when the store was
+// opened; this layer indexes each policy's latest version into an
+// engineCell — metadata only, no payload decode — then either builds
+// every cell in place (eager) or hands the ID list to the background
+// warmer (lazy). In both modes a payload that fails to decode quarantines
+// that one policy; recovery itself only fails when the store cannot be
+// read at all.
+func (s *Server) recoverLive(rec RecoveryOptions) error {
 	start := time.Now()
 	pols, err := s.store.List()
 	if err != nil {
 		return fmt.Errorf("server: recover: %w", err)
 	}
+	reg := s.pipeline.Obs()
+	reg.SetHelp(metricQuarantined, "Policies whose stored payload failed to decode; served as 503 until repaired.")
+	reg.SetHelp(metricWarmPending, "Recovered policies whose engine has not been built yet.")
+	reg.SetHelp(metricColdStart, "Time to decode a stored payload and build its engine, by trigger source.")
+	ids := make([]string, 0, len(pols))
 	for _, p := range pols {
-		v, err := s.store.Version(p.ID, p.Versions)
-		if err != nil {
+		metas, err := s.store.Versions(p.ID)
+		if err != nil || len(metas) == 0 {
 			return fmt.Errorf("server: recover %s: %w", p.ID, err)
 		}
-		a, err := s.pipeline.DecodeAnalysis(v.Payload)
-		if err != nil {
-			return fmt.Errorf("server: recover %s version %d: %w", p.ID, v.N, err)
-		}
-		s.live[p.ID] = &liveAnalysis{version: p.Versions, analysis: a}
+		s.live[p.ID] = newLazyCell(p.ID, p.Versions, metas[len(metas)-1].Stats)
+		ids = append(ids, p.ID)
 	}
-	if len(pols) > 0 {
-		elapsed := time.Since(start)
-		s.pipeline.Obs().Gauge("quagmire_store_recovery_seconds", "phase", "rebuild").Set(elapsed.Seconds())
-		if s.logger != nil {
-			s.logger.Printf("server: rebuilt %d policies from store in %s", len(pols), elapsed.Round(time.Millisecond))
+	if len(pols) == 0 {
+		return nil
+	}
+	reg.Gauge(metricWarmPending).Set(float64(len(pols)))
+	reg.Gauge("quagmire_store_recovery_seconds", "phase", "index").Set(time.Since(start).Seconds())
+	if rec.Eager {
+		for _, id := range ids {
+			_, _ = s.live[id].get(s, "eager") // failure = quarantine, not abort
 		}
+		elapsed := time.Since(start)
+		reg.Gauge("quagmire_store_recovery_seconds", "phase", "rebuild").Set(elapsed.Seconds())
+		if s.logger != nil {
+			s.logger.Printf("server: rebuilt %d policies from store in %s (%d quarantined)",
+				len(pols), elapsed.Round(time.Millisecond), int(reg.Gauge(metricQuarantined).Value()))
+		}
+		return nil
+	}
+	if s.logger != nil {
+		s.logger.Printf("server: indexed %d policies from store in %s (lazy rebuild)",
+			len(pols), time.Since(start).Round(time.Millisecond))
+	}
+	if workers := rec.warmWorkers(); workers > 0 {
+		s.startWarmer(ids, workers)
 	}
 	return nil
 }
@@ -352,21 +389,30 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // healthResponse is the GET /healthz payload: overall status plus the
 // store's self-report (backend kind, record counts, WAL size, writability
-// probe). A store that cannot accept writes makes the whole server
-// degraded — reads may still work, but a load balancer should drain it.
+// probe) and the quarantined-policy count. A store that cannot accept
+// writes makes the whole server degraded with a 503 — a load balancer
+// should drain it. Quarantined policies also report "degraded" but keep
+// the 200: every healthy policy still serves, and the corrupt payload is
+// in the store, so draining the instance would not help (its replacement
+// would quarantine the same policy).
 type healthResponse struct {
-	Status   string       `json:"status"`
-	Policies int          `json:"policies"`
-	Store    store.Health `json:"store"`
+	Status      string       `json:"status"`
+	Policies    int          `json:"policies"`
+	Quarantined int          `json:"quarantined,omitempty"`
+	Store       store.Health `json:"store"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := s.store.Health()
-	resp := healthResponse{Status: "ok", Policies: h.Policies, Store: h}
+	q := int(s.pipeline.Obs().Gauge(metricQuarantined).Value())
+	resp := healthResponse{Status: "ok", Policies: h.Policies, Quarantined: q, Store: h}
 	code := http.StatusOK
-	if !h.OK() {
+	switch {
+	case !h.OK():
 		resp.Status = "degraded"
 		code = http.StatusServiceUnavailable
+	case q > 0:
+		resp.Status = "degraded"
 	}
 	writeJSON(w, code, resp)
 }
@@ -377,30 +423,56 @@ type createPolicyRequest struct {
 	Text string `json:"text"`
 }
 
-// policyResponse is the common policy summary payload.
+// policyResponse is the common policy summary payload. Quarantined marks
+// a policy whose stored payload failed to decode: metadata and stats
+// still render (they come from the store's version metadata), but the
+// analysis endpoints answer 503 until it is repaired.
 type policyResponse struct {
-	ID        string    `json:"id"`
-	Name      string    `json:"name"`
-	Company   string    `json:"company"`
-	Created   time.Time `json:"created"`
-	Updated   time.Time `json:"updated"`
-	Versions  int       `json:"versions"`
-	Nodes     int       `json:"nodes"`
-	Edges     int       `json:"edges"`
-	Entities  int       `json:"entities"`
-	DataTypes int       `json:"data_types"`
-	Practices int       `json:"practices"`
+	ID          string    `json:"id"`
+	Name        string    `json:"name"`
+	Company     string    `json:"company"`
+	Created     time.Time `json:"created"`
+	Updated     time.Time `json:"updated"`
+	Versions    int       `json:"versions"`
+	Nodes       int       `json:"nodes"`
+	Edges       int       `json:"edges"`
+	Entities    int       `json:"entities"`
+	DataTypes   int       `json:"data_types"`
+	Practices   int       `json:"practices"`
+	Quarantined bool      `json:"quarantined,omitempty"`
 }
 
-// policyJSON renders policy metadata plus the latest analysis's stats.
-func policyJSON(p store.Policy, a *core.Analysis) policyResponse {
-	st := a.Stats()
+// policyStatsJSON renders policy metadata plus stored version stats —
+// the form that needs no decoded analysis, so listing a corpus never
+// forces engine builds.
+func policyStatsJSON(p store.Policy, st store.VersionStats) policyResponse {
 	return policyResponse{
 		ID: p.ID, Name: p.Name, Company: p.Company,
 		Created: p.Created, Updated: p.Updated, Versions: p.Versions,
 		Nodes: st.Nodes, Edges: st.Edges, Entities: st.Entities,
-		DataTypes: st.DataTypes, Practices: len(a.Extraction.Practices),
+		DataTypes: st.DataTypes, Practices: st.Practices,
 	}
+}
+
+// policyJSON renders policy metadata plus the latest analysis's stats.
+// Identical to policyStatsJSON over versionStats(a) — the stored stats
+// were computed from the same analysis — so lazy and eager recovery
+// render byte-identical listings.
+func policyJSON(p store.Policy, a *core.Analysis) policyResponse {
+	return policyStatsJSON(p, versionStats(a))
+}
+
+// cellPolicyJSON renders one policy from whatever its cell has: the built
+// analysis when available, the stored stats (never a forced build) when
+// cold, and the stored stats plus the quarantined marker when poisoned.
+func cellPolicyJSON(p store.Policy, cell *engineCell) policyResponse {
+	a, qerr := cell.peek()
+	if a != nil {
+		return policyJSON(p, a)
+	}
+	resp := policyStatsJSON(p, cell.stats)
+	resp.Quarantined = qerr != nil
+	return resp
 }
 
 // versionStats pins an analysis's shape into store metadata.
@@ -440,7 +512,7 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	pol, err := s.store.Create(req.Name, v)
 	if err == nil {
-		s.live[pol.ID] = &liveAnalysis{version: pol.Versions, analysis: a}
+		s.live[pol.ID] = newReadyCell(pol.ID, pol.Versions, a)
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -455,8 +527,8 @@ func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
 	pols, err := s.store.List()
 	out := make([]policyResponse, 0, len(pols))
 	for _, p := range pols {
-		if la := s.live[p.ID]; la != nil {
-			out = append(out, policyJSON(p, la.analysis))
+		if cell := s.live[p.ID]; cell != nil {
+			out = append(out, cellPolicyJSON(p, cell))
 		}
 	}
 	s.mu.RUnlock()
@@ -475,36 +547,53 @@ type policySnapshot struct {
 	analysis *core.Analysis
 }
 
-// lookup returns a consistent snapshot taken under the read lock. Handlers
-// work on the snapshot only: a concurrent update installs a new
-// liveAnalysis, but never mutates a published analysis, so snapshot reads
-// are race-free without holding the lock.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (policySnapshot, bool) {
+// lookupCell finds the (metadata, cell) pair under the read lock — the
+// consistent unit every per-policy handler starts from — without
+// triggering an engine build. Writes the 404 itself when absent.
+func (s *Server) lookupCell(w http.ResponseWriter, r *http.Request) (store.Policy, *engineCell, bool) {
 	id := r.PathValue("id")
 	s.mu.RLock()
-	la, ok := s.live[id]
-	var snap policySnapshot
-	if ok {
-		var err error
-		if snap.meta, err = s.store.Get(id); err != nil {
-			ok = false
-		}
-		snap.version, snap.analysis = la.version, la.analysis
+	cell := s.live[id]
+	var meta store.Policy
+	var err error
+	if cell != nil {
+		meta, err = s.store.Get(id)
 	}
 	s.mu.RUnlock()
-	if !ok {
+	if cell == nil || err != nil {
 		writeError(w, http.StatusNotFound, "policy %q not found", id)
-		return policySnapshot{}, false
+		return store.Policy{}, nil, false
 	}
-	return snap, true
+	return meta, cell, true
 }
 
+// lookup returns a consistent snapshot for handlers that need the
+// analysis, building the cell on first demand (the lazy-recovery cold
+// path). Handlers work on the snapshot only: a concurrent update installs
+// a new cell, but never mutates a published analysis, so snapshot reads
+// are race-free without holding the lock. A quarantined policy answers
+// 503 with the decode failure as the reason.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (policySnapshot, bool) {
+	meta, cell, ok := s.lookupCell(w, r)
+	if !ok {
+		return policySnapshot{}, false
+	}
+	a, err := cell.get(s, "query")
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return policySnapshot{}, false
+	}
+	return policySnapshot{meta: meta, version: cell.version, analysis: a}, true
+}
+
+// handleGetPolicy serves metadata + stats; like the list, it never forces
+// a cold cell to build and renders quarantined policies with the marker.
 func (s *Server) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(w, r)
+	meta, cell, ok := s.lookupCell(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, policyJSON(e.meta, e.analysis))
+	writeJSON(w, http.StatusOK, cellPolicyJSON(meta, cell))
 }
 
 // updatePolicyRequest is the PUT /v1/policies/{id} body.
@@ -524,7 +613,7 @@ type updatePolicyResponse struct {
 }
 
 func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(w, r)
+	meta, cell, ok := s.lookupCell(w, r)
 	if !ok {
 		return
 	}
@@ -542,7 +631,23 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 	// live-map swap; the store's compare-and-swap (against the version this
 	// update was computed from) rejects concurrent updates rather than
 	// silently dropping edits.
-	a, diff, st, err := s.pipeline.Update(r.Context(), e.analysis, req.Text)
+	//
+	// PUT is also the repair path for a quarantined policy: with no
+	// decodable previous analysis to diff against, the text is re-analyzed
+	// from scratch (diff stats zero) and a healthy cell replaces the
+	// poisoned one.
+	prev, qerr := cell.get(s, "query")
+	var (
+		a    *core.Analysis
+		diff segment.Diff
+		st   kg.UpdateStats
+		err  error
+	)
+	if qerr != nil {
+		a, err = s.pipeline.Analyze(r.Context(), req.Text)
+	} else {
+		a, diff, st, err = s.pipeline.Update(r.Context(), prev, req.Text)
+	}
 	if err != nil {
 		s.writeComputeError(w, r, "update failed", err)
 		return
@@ -568,21 +673,28 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request) {
 		Payload: payload,
 	}
 	s.mu.Lock()
-	pol, serr := s.store.Append(e.meta.ID, e.version, v)
+	pol, serr := s.store.Append(meta.ID, cell.version, v)
 	if serr == nil {
-		s.live[pol.ID] = &liveAnalysis{version: pol.Versions, analysis: a}
+		s.live[pol.ID] = newReadyCell(pol.ID, pol.Versions, a)
 	}
 	s.mu.Unlock()
 	switch {
 	case errors.Is(serr, store.ErrConflict):
-		writeError(w, http.StatusConflict, "policy %q was updated concurrently; retry", e.meta.ID)
+		writeError(w, http.StatusConflict, "policy %q was updated concurrently; retry", meta.ID)
 		return
 	case errors.Is(serr, store.ErrNotFound):
-		writeError(w, http.StatusNotFound, "policy %q not found", e.meta.ID)
+		writeError(w, http.StatusNotFound, "policy %q not found", meta.ID)
 		return
 	case serr != nil:
 		writeError(w, http.StatusInternalServerError, "store rejected update: %v", serr)
 		return
+	}
+	if qerr != nil {
+		// The poisoned cell is gone; the policy is healthy again.
+		s.pipeline.Obs().Gauge(metricQuarantined).Add(-1)
+		if s.logger != nil {
+			s.logger.Printf("server: policy %s repaired by update (version %d)", pol.ID, pol.Versions)
+		}
 	}
 	writeJSON(w, http.StatusOK, updatePolicyResponse{
 		Policy:          policyJSON(pol, a),
