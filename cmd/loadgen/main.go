@@ -8,11 +8,15 @@
 // Usage:
 //
 //	loadgen -url http://localhost:8080 -duration 10s -concurrency 32 -read-fraction 0.8
+//	        [-corpus-fraction 0.2 -corpus-policies 10]
 //
 // With no -url, loadgen self-hosts an in-process server (in-memory store)
 // on a loopback listener, so the experiment is reproducible with no
-// external setup. The request mix is deterministic: each worker issues a
-// read when its request counter modulo 10 falls below read-fraction×10.
+// external setup. The request mix is deterministic: of every worker's 10
+// requests, the first read-fraction×10 are cheap reads, the next
+// corpus-fraction×10 hit the /v1/corpus endpoints (alternating the
+// aggregate stats read and the fan-out query, for E16), and the rest are
+// per-policy solves.
 package main
 
 import (
@@ -40,6 +44,8 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to offer load")
 	flag.IntVar(&cfg.concurrency, "concurrency", 16, "concurrent client workers")
 	flag.Float64Var(&cfg.readFraction, "read-fraction", 0.8, "fraction of requests that are cheap reads (0..1)")
+	flag.Float64Var(&cfg.corpusFraction, "corpus-fraction", 0, "fraction of requests that hit the /v1/corpus endpoints (0..1); the remainder after reads and corpus are solves")
+	flag.IntVar(&cfg.corpusPolicies, "corpus-policies", 5, "extra policies seeded for corpus sweeps (corpus-fraction > 0 only)")
 	flag.IntVar(&cfg.maxSolves, "max-solves", 0, "self-host only: solver admission cap (0 = default)")
 	flag.IntVar(&cfg.solveQueue, "solve-queue", 0, "self-host only: solver admission queue bound (0 = default)")
 	flag.DurationVar(&cfg.queueWait, "queue-wait", 0, "self-host only: longest queue wait before a 429 (0 = default)")
@@ -55,14 +61,16 @@ func main() {
 }
 
 type config struct {
-	url          string
-	duration     time.Duration
-	concurrency  int
-	readFraction float64
-	maxSolves    int
-	solveQueue   int
-	queueWait    time.Duration
-	noCache      bool
+	url            string
+	duration       time.Duration
+	concurrency    int
+	readFraction   float64
+	corpusFraction float64
+	corpusPolicies int
+	maxSolves      int
+	solveQueue     int
+	queueWait      time.Duration
+	noCache        bool
 }
 
 // classStats aggregates one request class (read or solve).
@@ -128,6 +136,9 @@ func run(cfg config, logger *log.Logger) (report, error) {
 	if cfg.readFraction < 0 || cfg.readFraction > 1 {
 		return report{}, fmt.Errorf("read-fraction must be in [0,1]")
 	}
+	if cfg.corpusFraction < 0 || cfg.readFraction+cfg.corpusFraction > 1 {
+		return report{}, fmt.Errorf("corpus-fraction must be >= 0 and read-fraction+corpus-fraction <= 1")
+	}
 	base := cfg.url
 	if base == "" {
 		stop, url, err := selfHost(cfg, logger)
@@ -147,12 +158,25 @@ func run(cfg config, logger *log.Logger) (report, error) {
 	readURL := base + "/v1/policies/" + id
 	solveURL := base + "/v1/policies/" + id + "/query"
 	solveBody := `{"question":"Does Acme share my email address with advertising partners?"}`
+	statsURL := base + "/v1/corpus/stats"
+	corpusQueryURL := base + "/v1/corpus/query"
+	corpusBody := `{"query":"Does Acme share my email address with advertising partners?"}`
 	readSlots := int(cfg.readFraction*10 + 0.5) // of every 10 requests
+	corpusSlots := int(cfg.corpusFraction*10 + 0.5)
+	if readSlots+corpusSlots > 10 {
+		corpusSlots = 10 - readSlots
+	}
+	if corpusSlots > 0 {
+		// Corpus sweeps over a one-policy store measure nothing; widen it.
+		if err := seedCorpusPolicies(base, cfg.corpusPolicies); err != nil {
+			return report{}, fmt.Errorf("seed corpus: %w", err)
+		}
+	}
 
 	client := &http.Client{Timeout: 2 * time.Minute}
 	start := time.Now()
 	deadline := start.Add(cfg.duration)
-	perWorker := make([][2]classStats, cfg.concurrency)
+	perWorker := make([][3]classStats, cfg.concurrency)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.concurrency; w++ {
 		wg.Add(1)
@@ -160,6 +184,7 @@ func run(cfg config, logger *log.Logger) (report, error) {
 			defer wg.Done()
 			read := &perWorker[w][0]
 			solve := &perWorker[w][1]
+			corp := &perWorker[w][2]
 			for i := 0; time.Now().Before(deadline); i++ {
 				var (
 					cs    *classStats
@@ -167,10 +192,20 @@ func run(cfg config, logger *log.Logger) (report, error) {
 					resp  *http.Response
 					err   error
 				)
-				if i%10 < readSlots {
+				switch slot := i % 10; {
+				case slot < readSlots:
 					cs = read
 					resp, err = client.Get(readURL)
-				} else {
+				case slot < readSlots+corpusSlots:
+					// Alternate the aggregate read and the fan-out query so
+					// both corpus endpoints see load.
+					cs = corp
+					if i%2 == 0 {
+						resp, err = client.Get(statsURL)
+					} else {
+						resp, err = client.Post(corpusQueryURL, "application/json", strings.NewReader(corpusBody))
+					}
+				default:
 					cs = solve
 					resp, err = client.Post(solveURL, "application/json", strings.NewReader(solveBody))
 				}
@@ -198,7 +233,7 @@ func run(cfg config, logger *log.Logger) (report, error) {
 
 	rep := report{
 		Elapsed: time.Since(start),
-		Classes: []*classStats{{Name: "read"}, {Name: "solve"}},
+		Classes: []*classStats{{Name: "read"}, {Name: "solve"}, {Name: "corpus"}},
 	}
 	for w := range perWorker {
 		for i, cs := range perWorker[w] {
@@ -243,6 +278,28 @@ func selfHost(cfg config, logger *log.Logger) (stop func(), url string, err erro
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = httpSrv.Serve(ln) }()
 	return func() { _ = httpSrv.Close() }, "http://" + ln.Addr().String(), nil
+}
+
+// seedCorpusPolicies registers n extra generated policies so corpus
+// sweeps have real fan-out width.
+func seedCorpusPolicies(base string, n int) error {
+	for i := 0; i < n; i++ {
+		text := corpus.Generate(corpus.Config{
+			Company: fmt.Sprintf("Load%d", i), Seed: int64(i + 1),
+			PracticeStatements: 8, DataRichness: 12, EntityRichness: 12,
+		})
+		body := fmt.Sprintf(`{"name":"load-%d","text":%q}`, i, text)
+		resp, err := http.Post(base+"/v1/policies", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("create load-%d = %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	return nil
 }
 
 // seedPolicy registers the Mini corpus policy and returns its ID.

@@ -75,6 +75,42 @@ func TestRunSelfHostSmoke(t *testing.T) {
 	}
 }
 
+func TestRunCorpusMixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke test skipped in -short")
+	}
+	rep, err := run(config{
+		duration:       500 * time.Millisecond,
+		concurrency:    2,
+		readFraction:   0.5,
+		corpusFraction: 0.3,
+		corpusPolicies: 2,
+	}, log.New(discard{}, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corp := rep.Classes[2]
+	if corp.Name != "corpus" {
+		t.Fatalf("third class = %q, want corpus", corp.Name)
+	}
+	if corp.OK == 0 {
+		t.Errorf("no successful corpus requests: %+v", corp)
+	}
+	if corp.Errors != 0 {
+		t.Errorf("corpus errors under light load: %+v", corp)
+	}
+}
+
+func TestRunRejectsBadFractions(t *testing.T) {
+	logger := log.New(discard{}, "", 0)
+	if _, err := run(config{duration: time.Millisecond, concurrency: 1, readFraction: 0.8, corpusFraction: 0.5}, logger); err == nil {
+		t.Error("read+corpus > 1 accepted")
+	}
+	if _, err := run(config{duration: time.Millisecond, concurrency: 1, corpusFraction: -0.1}, logger); err == nil {
+		t.Error("negative corpus-fraction accepted")
+	}
+}
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+func TestIngestCommand(t *testing.T) {
+	corpusDir := t.TempDir()
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	if err := run([]string{"corpus", "gen", "-dir", corpusDir, "-n", "5", "-seed", "7"}); err != nil {
+		t.Fatalf("corpus gen: %v", err)
+	}
+	if err := run([]string{"ingest", "-corpus", corpusDir, "-data", dataDir, "-workers", "2", "-batch", "2", "-quiet"}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// Rerun resumes to a no-op instead of duplicating.
+	if err := run([]string{"ingest", "-corpus", corpusDir, "-data", dataDir, "-quiet"}); err != nil {
+		t.Fatalf("ingest rerun: %v", err)
+	}
+
+	st, err := store.OpenDisk(dataDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	list, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 5 {
+		t.Fatalf("store has %d policies after rerun, want 5", len(list))
+	}
+	for _, p := range list {
+		if p.Versions != 1 {
+			t.Errorf("%s has %d versions, want 1", p.Name, p.Versions)
+		}
+	}
+}
+
+func TestIngestCommandUsage(t *testing.T) {
+	if err := run([]string{"ingest"}); err == nil {
+		t.Error("ingest without flags did not error")
+	}
+	if err := run([]string{"corpus", "gen"}); err == nil {
+		t.Error("corpus gen without -dir did not error")
+	}
+}

@@ -21,6 +21,9 @@
 //	quagmire explain  <policy.txt> "<query>"   minimal evidence for a VALID verdict
 //	quagmire solve    <file.smt2>              run the built-in SMT solver
 //	quagmire corpus   <tiktak|metabook|healthtrack|mini>  print a bundled synthetic policy
+//	quagmire corpus   gen -dir <dir> -n <count> [-seed S]  write a synthetic corpus
+//	quagmire ingest   -corpus <dir> -data <dir> [-workers N -batch N -json]
+//	                                           bulk-ingest a corpus into a store (resumable)
 package main
 
 import (
@@ -385,9 +388,15 @@ func run(args []string) error {
 		}
 		return nil
 
+	case "ingest":
+		return runIngest(ctx, rest[1:], *maxInst)
+
 	case "corpus":
+		if len(rest) >= 2 && rest[1] == "gen" {
+			return runCorpusGen(rest[2:])
+		}
 		if len(rest) != 2 {
-			return fmt.Errorf("usage: quagmire corpus <tiktak|metabook|mini>")
+			return fmt.Errorf("usage: quagmire corpus <tiktak|metabook|mini> | quagmire corpus gen -dir <dir> -n <count>")
 		}
 		switch rest[1] {
 		case "tiktak":

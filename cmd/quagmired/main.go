@@ -8,6 +8,7 @@
 //	          [-read-timeout D] [-solve-timeout D] [-max-solves N]
 //	          [-solve-queue N] [-queue-wait D] [-drain-timeout D]
 //	          [-lazy-recovery=BOOL] [-warm-workers N]
+//	          [-corpus-workers N] [-corpus-policy-timeout D]
 //
 // With -data the policy store is durable: every policy version is logged
 // to DIR's write-ahead log before it is acknowledged, a restart recovers
@@ -65,6 +66,8 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	flag.BoolVar(&cfg.lazyRecovery, "lazy-recovery", true, "index stored policies at boot and build engines on demand (false = rebuild everything before serving)")
 	flag.IntVar(&cfg.warmWorkers, "warm-workers", 0, "background engine-warmer pool size after lazy recovery (0 = default, negative = off)")
+	flag.IntVar(&cfg.corpusWorkers, "corpus-workers", 0, "worker pool size for the /v1/corpus fan-out endpoints (0 = max(2, GOMAXPROCS))")
+	flag.DurationVar(&cfg.corpusPolicyTimeout, "corpus-policy-timeout", 0, "per-policy deadline inside a corpus query (0 = 5s, negative = off)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "quagmired ", log.LstdFlags)
@@ -82,6 +85,8 @@ type serveConfig struct {
 	queueWait, drainTimeout   time.Duration
 	lazyRecovery              bool
 	warmWorkers               int
+	corpusWorkers             int
+	corpusPolicyTimeout       time.Duration
 }
 
 func run(cfg serveConfig, logger *log.Logger) error {
@@ -124,6 +129,10 @@ func run(cfg serveConfig, logger *log.Logger) error {
 		Recovery: server.RecoveryOptions{
 			Eager:       !cfg.lazyRecovery,
 			WarmWorkers: cfg.warmWorkers,
+		},
+		Corpus: server.CorpusConfig{
+			Workers:       cfg.corpusWorkers,
+			PolicyTimeout: cfg.corpusPolicyTimeout,
 		},
 	})
 	if err != nil {

@@ -1,0 +1,53 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+var companyPrefixes = []string{
+	"Acme", "Globo", "Nimbus", "Vertex", "Quanta", "Helio", "Orbit",
+	"Pixel", "Cobalt", "Aster", "Lumen", "Zephyr", "Drift", "Ember",
+	"Fable", "Gale", "Haven", "Iris", "Juniper", "Krill",
+}
+
+var companySuffixes = []string{
+	"Soft", "Works", "Labs", "Media", "Cloud", "Data", "Net", "Hub",
+	"Mart", "Pay", "Play", "Social", "Maps", "Chat",
+}
+
+// WriteCorpus generates n synthetic policies and writes them into dir as
+// NNNN-company.txt files, one per policy. Generation is deterministic
+// for a given (n, seed): the same call always produces the same file
+// names and contents, which is what lets benchmark and CI corpora be
+// regenerated instead of checked in. Returns the written file names in
+// order.
+func WriteCorpus(dir string, n int, seed int64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		company := companyPrefixes[r.Intn(len(companyPrefixes))] + companySuffixes[r.Intn(len(companySuffixes))]
+		cfg := Config{
+			// Index in the company name keeps every policy's organization
+			// distinct, so cross-policy aggregates have real cardinality.
+			Company:            fmt.Sprintf("%s%d", company, i),
+			Seed:               r.Int63(),
+			PracticeStatements: 8 + r.Intn(25),
+			BoilerplateEvery:   2 + r.Intn(4),
+			DataRichness:       8 + r.Intn(40),
+			EntityRichness:     8 + r.Intn(60),
+		}
+		name := fmt.Sprintf("%04d-%s.txt", i, strings.ToLower(cfg.Company))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(Generate(cfg)), 0o644); err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

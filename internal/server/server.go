@@ -50,6 +50,7 @@ type Server struct {
 	logger   *log.Logger
 	store    store.PolicyStore
 	timeouts Timeouts
+	corpus   CorpusConfig
 
 	// sem limits in-flight requests across all routes when non-nil
 	// (excess gets 503); adm admission-controls solver-backed endpoints
@@ -107,6 +108,9 @@ type Options struct {
 	// Recovery selects lazy (default) or eager engine rebuild for stored
 	// policies, and sizes the background warmer (see lazy.go).
 	Recovery RecoveryOptions
+	// Corpus bounds the cross-policy fan-out endpoints (corpus.go); zero
+	// fields select defaults.
+	Corpus CorpusConfig
 }
 
 // New constructs a server. When the store already holds policies (a
@@ -130,6 +134,7 @@ func New(opts Options) (*Server, error) {
 		logger:   opts.Logger,
 		store:    st,
 		timeouts: opts.Timeouts.withDefaults(),
+		corpus:   opts.Corpus.withDefaults(),
 		adm:      newAdmission(opts.Admission, opts.Pipeline.Obs()),
 		live:     map[string]*engineCell{},
 		versions: newVersionEngines(versionEngineCacheSize),
@@ -248,6 +253,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/policies/{id}/report", s.readClass(s.handleReport))
 	mux.HandleFunc("GET /v1/policies/{id}/dot", s.readClass(s.handleDOT))
 	mux.HandleFunc("POST /v1/solve", s.solverClass(s.handleSolve))
+	mux.HandleFunc("GET /v1/corpus/stats", s.solverClass(s.handleCorpusStats))
+	mux.HandleFunc("POST /v1/corpus/query", s.solverClass(s.handleCorpusQuery))
 	return s.withMiddleware(mux)
 }
 
@@ -522,20 +529,58 @@ func (s *Server) handleCreatePolicy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, policyJSON(pol, a))
 }
 
-func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	pols, err := s.store.List()
-	out := make([]policyResponse, 0, len(pols))
-	for _, p := range pols {
-		if cell := s.live[p.ID]; cell != nil {
-			out = append(out, cellPolicyJSON(p, cell))
+// pageParams parses ?offset=&limit= (both optional, limit 0 = all).
+// Returns ok=false with the 400 already written on malformed input.
+func pageParams(w http.ResponseWriter, r *http.Request) (offset, limit int, ok bool) {
+	parse := func(name string) (int, bool) {
+		raw := r.URL.Query().Get(name)
+		if raw == "" {
+			return 0, true
 		}
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid %s %q (want a non-negative integer)", name, raw)
+			return 0, false
+		}
+		return n, true
 	}
-	s.mu.RUnlock()
+	if offset, ok = parse("offset"); !ok {
+		return 0, 0, false
+	}
+	if limit, ok = parse("limit"); !ok {
+		return 0, 0, false
+	}
+	return offset, limit, true
+}
+
+// handleListPolicies lists the corpus in deterministic store order with
+// optional ?offset=&limit= pagination; X-Total-Count always carries the
+// full corpus size. Only the (metadata, cell) snapshot happens under the
+// read lock — response rendering, which at corpus scale dwarfs the
+// snapshot, runs outside it so a big list never stalls writers.
+func (s *Server) handleListPolicies(w http.ResponseWriter, r *http.Request) {
+	offset, limit, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	items, err := s.snapshotCorpus()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "store list failed: %v", err)
 		return
 	}
+	total := len(items)
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < total {
+		end = offset + limit
+	}
+	out := make([]policyResponse, 0, end-offset)
+	for _, it := range items[offset:end] {
+		out = append(out, cellPolicyJSON(it.meta, it.cell))
+	}
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
 	writeJSON(w, http.StatusOK, out)
 }
 

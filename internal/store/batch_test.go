@@ -1,0 +1,217 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/obs"
+)
+
+func mkBatch(n int, prefix string) []BatchEntry {
+	out := make([]BatchEntry, n)
+	for i := range out {
+		out[i] = BatchEntry{
+			Name:    fmt.Sprintf("%s/%03d.txt", prefix, i),
+			Version: mkVersion(fmt.Sprintf("Co%d", i), fmt.Sprintf("payload-%d", i)),
+		}
+	}
+	return out
+}
+
+func TestAppendBatchAssignsSequentialIDs(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			// Interleave a single Create so batch IDs continue the sequence.
+			if _, err := s.Create("solo", mkVersion("Solo", "v1")); err != nil {
+				t.Fatal(err)
+			}
+			pols, err := s.AppendBatch(mkBatch(5, "corpus"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pols) != 5 {
+				t.Fatalf("batch returned %d policies", len(pols))
+			}
+			for i, p := range pols {
+				if want := fmt.Sprintf("p%d", i+2); p.ID != want {
+					t.Errorf("pols[%d].ID = %q, want %q", i, p.ID, want)
+				}
+				if want := fmt.Sprintf("corpus/%03d.txt", i); p.Name != want {
+					t.Errorf("pols[%d].Name = %q, want %q", i, p.Name, want)
+				}
+				if p.Versions != 1 {
+					t.Errorf("pols[%d].Versions = %d", i, p.Versions)
+				}
+			}
+			// A later Create continues past the batch.
+			after, err := s.Create("after", mkVersion("After", "v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after.ID != "p7" {
+				t.Errorf("post-batch ID = %q, want p7", after.ID)
+			}
+			// Payloads round-trip per entry.
+			v, err := s.Version(pols[3].ID, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v.Payload) != "payload-3" {
+				t.Errorf("payload = %q", v.Payload)
+			}
+		})
+	}
+}
+
+func TestAppendBatchEmptyIsNoOp(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			pols, err := s.AppendBatch(nil)
+			if err != nil || len(pols) != 0 {
+				t.Fatalf("empty batch = %v, %v", pols, err)
+			}
+			if h := s.Health(); h.Policies != 0 {
+				t.Errorf("policies = %d", h.Policies)
+			}
+		})
+	}
+}
+
+func TestAppendBatchSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AppendBatch(mkBatch(7, "c")); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL-style abandon: no Close, so recovery replays the WAL.
+	d2, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	list, err := d2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 7 {
+		t.Fatalf("recovered %d policies, want 7", len(list))
+	}
+	for i, p := range list {
+		if want := fmt.Sprintf("p%d", i+1); p.ID != want {
+			t.Errorf("list[%d].ID = %q, want %q", i, p.ID, want)
+		}
+	}
+	v, err := d2.Version("p5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Payload) != "payload-4" {
+		t.Errorf("payload = %q", v.Payload)
+	}
+	// Post-recovery creates continue the ID sequence.
+	p, err := d2.Create("next", mkVersion("Next", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "p8" {
+		t.Errorf("post-recovery ID = %q, want p8", p.ID)
+	}
+}
+
+// TestAppendBatchAmortizesFsyncs pins the whole point of the batch API:
+// one durable batch costs one WAL fsync, where the same policies created
+// one at a time cost one fsync each.
+func TestAppendBatchAmortizesFsyncs(t *testing.T) {
+	const n = 16
+
+	syncsAfter := func(run func(d *Disk)) uint64 {
+		reg := obs.NewRegistry()
+		d, err := OpenDisk(t.TempDir(), Options{Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		run(d)
+		return reg.Counter("quagmire_store_wal_syncs_total").Value()
+	}
+
+	perCreate := syncsAfter(func(d *Disk) {
+		for _, e := range mkBatch(n, "c") {
+			if _, err := d.Create(e.Name, e.Version); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	batched := syncsAfter(func(d *Disk) {
+		if _, err := d.AppendBatch(mkBatch(n, "c")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perCreate != n {
+		t.Errorf("per-create syncs = %d, want %d", perCreate, n)
+	}
+	if batched != 1 {
+		t.Errorf("batched syncs = %d, want 1", batched)
+	}
+}
+
+// TestAppendBatchRollsBackOnFailure: a batch whose sync fails must leave
+// no prefix behind — after rollback the store state and a subsequent
+// recovery both contain none of the batch.
+func TestAppendBatchRollsBackOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("keep", mkVersion("Keep", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a write failure partway through the batch frames.
+	d.wal = &failingWAL{inner: d.wal, failAfter: 2}
+	if _, err := d.AppendBatch(mkBatch(5, "c")); err == nil {
+		t.Fatal("batch with failing WAL succeeded")
+	}
+	if h := d.Health(); h.OK() {
+		t.Error("health not degraded after failed batch")
+	}
+	list, _ := d.List()
+	if len(list) != 1 {
+		t.Errorf("policies after failed batch = %d, want 1", len(list))
+	}
+	// Recovery from disk sees only the pre-batch record.
+	d2, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	list2, _ := d2.List()
+	if len(list2) != 1 || list2[0].Name != "keep" {
+		t.Errorf("recovered = %+v, want just 'keep'", list2)
+	}
+}
+
+// failingWAL passes writes through until failAfter writes have happened,
+// then fails every subsequent write.
+type failingWAL struct {
+	inner     walFile
+	writes    int
+	failAfter int
+}
+
+func (f *failingWAL) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.failAfter {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	return f.inner.Write(p)
+}
+
+func (f *failingWAL) Truncate(size int64) error { return f.inner.Truncate(size) }
+func (f *failingWAL) Sync() error               { return f.inner.Sync() }
+func (f *failingWAL) Close() error              { return f.inner.Close() }

@@ -200,18 +200,39 @@ func (d *Disk) registerMetrics() {
 // log frames op, appends it to the WAL and syncs (unless NoSync). The
 // caller holds d.mu.
 func (d *Disk) log(op walOp) error {
+	return d.logBatch([]walOp{op})
+}
+
+// logBatch frames every op with consecutive sequence numbers, appends
+// them to the WAL and syncs once for the whole batch (unless NoSync) —
+// the fsync amortization that makes AppendBatch cheap at corpus scale.
+// The batch is atomic: a failed write or sync rolls the log back to the
+// pre-batch boundary, so no prefix of an unacknowledged batch can
+// survive into recovery. The caller holds d.mu.
+func (d *Disk) logBatch(ops []walOp) error {
 	if d.failed != nil {
 		return fmt.Errorf("store: wal unusable, writes disabled: %w", d.failed)
 	}
-	op.Seq = d.seq + 1
-	n, err := appendWALRecord(d.wal, op)
+	var written int64
+	var err error
+	for i := range ops {
+		ops[i].Seq = d.seq + uint64(i) + 1
+		var n int
+		n, err = appendWALRecord(d.wal, ops[i])
+		if err != nil {
+			break
+		}
+		written += int64(n)
+	}
 	if err == nil && !d.opts.NoSync {
-		err = d.wal.Sync()
+		if err = d.wal.Sync(); err == nil {
+			d.opts.Obs.Counter("quagmire_store_wal_syncs_total").Inc()
+		}
 	}
 	if err != nil {
 		d.lastErr = err
-		// The failed append may have left a torn frame (or a complete but
-		// unacknowledged record) past the last good boundary. Cut the file
+		// The failed batch may have left a torn frame (or complete but
+		// unacknowledged records) past the last good boundary. Cut the file
 		// back to that boundary so later appends stay parseable — the WAL
 		// is opened O_APPEND, so the next write lands at the truncated end.
 		// If the rollback itself fails the log now ends mid-frame, and any
@@ -224,8 +245,8 @@ func (d *Disk) log(op walOp) error {
 		return err
 	}
 	d.lastErr = nil
-	d.seq = op.Seq
-	d.walBytes += int64(n)
+	d.seq += uint64(len(ops))
+	d.walBytes += written
 	return nil
 }
 
@@ -315,6 +336,49 @@ func (d *Disk) Create(name string, v Version) (Policy, error) {
 	}
 	d.maybeCompact()
 	return meta, nil
+}
+
+// AppendBatch implements PolicyStore: every entry becomes a new policy,
+// logged as consecutive WAL records with a single fsync for the whole
+// batch. Ingesting a corpus in batches of K pays N/K syncs instead of N.
+func (d *Disk) AppendBatch(entries []BatchEntry) ([]Policy, error) {
+	defer d.opts.observe("append_batch", time.Now())
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	now := d.opts.clock()()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	ops := make([]walOp, len(entries))
+	for i, e := range entries {
+		v := e.Version
+		v.Created = now
+		v.Bytes = len(v.Payload)
+		v.N = 1
+		name := e.Name
+		if name == "" {
+			name = v.Company
+		}
+		ops[i] = walOp{Op: "create", ID: fmt.Sprintf("p%d", d.c.nextID+1+i), Name: name, Version: v}
+	}
+	if err := d.logBatch(ops); err != nil {
+		return nil, err
+	}
+	out := make([]Policy, len(ops))
+	for i, op := range ops {
+		meta, err := d.c.applyCreate(op.ID, op.Name, op.Version)
+		if err != nil {
+			// Unreachable — the IDs were freshly assigned under the same
+			// lock — but surfacing it beats silently diverging from the WAL.
+			return out[:i], err
+		}
+		out[i] = meta
+	}
+	d.maybeCompact()
+	return out, nil
 }
 
 // Append implements PolicyStore.

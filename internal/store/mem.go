@@ -167,6 +167,30 @@ func (m *Mem) Create(name string, v Version) (Policy, error) {
 	return m.c.applyCreate("", name, v)
 }
 
+// AppendBatch implements PolicyStore. The memory backend has no log to
+// amortize; the batch is simply applied atomically under one lock hold.
+func (m *Mem) AppendBatch(entries []BatchEntry) ([]Policy, error) {
+	defer m.opts.observe("append_batch", time.Now())
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	now := m.opts.clock()()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Policy, len(entries))
+	for i, e := range entries {
+		v := e.Version
+		v.Created = now
+		v.Bytes = len(v.Payload)
+		meta, err := m.c.applyCreate("", e.Name, v)
+		if err != nil {
+			return out[:i], err
+		}
+		out[i] = meta
+	}
+	return out, nil
+}
+
 // Append implements PolicyStore.
 func (m *Mem) Append(id string, expect int, v Version) (Policy, error) {
 	defer m.opts.observe("append", time.Now())

@@ -106,6 +106,14 @@ type Health struct {
 // OK reports whether the backend is fully serviceable.
 func (h Health) OK() bool { return h.Writable }
 
+// BatchEntry is one policy creation inside an AppendBatch: a name (the
+// ingest pipeline uses the corpus-relative source path, which is what
+// makes an interrupted crawl resumable) plus its version-1 payload.
+type BatchEntry struct {
+	Name    string
+	Version Version
+}
+
 // PolicyStore is the durable policy registry. Implementations are safe
 // for concurrent use. Returned metadata and payloads are snapshots; the
 // caller must not mutate Version.Payload after handing it to the store.
@@ -114,6 +122,13 @@ type PolicyStore interface {
 	// metadata with the assigned ID. v.N and v.Created are set by the
 	// store; name defaults to v.Company when empty.
 	Create(name string, v Version) (Policy, error)
+	// AppendBatch stores every entry as a new policy (each becomes
+	// version 1) in one durable write: the disk backend frames all the
+	// WAL records and fsyncs once for the whole batch, so bulk ingestion
+	// pays one sync per batch instead of one per policy. The batch is
+	// atomic — either every entry is durable and applied or none is —
+	// and assigned IDs follow entry order.
+	AppendBatch(entries []BatchEntry) ([]Policy, error)
 	// Append stores v as the next version of policy id if and only if the
 	// policy currently has expect versions (compare-and-swap); otherwise
 	// it fails with ErrConflict and stores nothing.
