@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|table3|similarity|scaling|smt|incremental|contradictions|verdicts|smtlib|domains|wholepolicy|scenarios|recovery|all
+//	experiments -exp table1|table2|table3|similarity|scaling|smt|incremental|contradictions|verdicts|smtlib|domains|wholepolicy|scenarios|recovery|boot|all
 package main
 
 import (
@@ -160,6 +160,19 @@ func run(exp string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderRecovery(rows))
+		fmt.Println()
+	}
+	if all || exp == "boot" {
+		fmt.Println("== E17: cold-boot cost (WAL replay vs indexed v2 open vs eager decode) ==")
+		counts := []int{25, 100}
+		if exp == "boot" {
+			counts = []int{100, 1000}
+		}
+		rows, err := experiments.BootSweep(ctx, counts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderBoot(rows))
 		fmt.Println()
 	}
 	return nil

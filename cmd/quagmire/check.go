@@ -286,11 +286,11 @@ func (r *checkRunner) storeEngine(arg string) (*query.Engine, error) {
 		}
 		n = pol.Versions
 	}
-	v, err := r.st.Version(id, n)
+	payload, err := r.st.LoadPayload(id, n)
 	if err != nil {
 		return nil, err
 	}
-	a, err := r.pipeline.DecodeAnalysis(v.Payload)
+	a, err := r.pipeline.DecodeAnalysis(payload)
 	if err != nil {
 		return nil, err
 	}

@@ -55,8 +55,8 @@ func runIngest(ctx context.Context, args []string, maxInst int) error {
 	opts := ingest.Options{Workers: *workers, BatchSize: *batch, Logger: logger}
 	if !*quiet {
 		opts.Progress = func(pr ingest.Progress) {
-			fmt.Fprintf(os.Stderr, "ingest: %d/%d committed (%d skipped, %d failed)\n",
-				pr.Committed, pr.Total-pr.Skipped-pr.Failed, pr.Skipped, pr.Failed)
+			fmt.Fprintf(os.Stderr, "ingest: %d/%d committed (%d updated, %d skipped, %d failed)\n",
+				pr.Committed, pr.Total-pr.Skipped-pr.Failed, pr.Updated, pr.Skipped, pr.Failed)
 		}
 	}
 	sum, runErr := ingest.Run(ctx, p, st, *corpusDir, opts)
@@ -72,8 +72,8 @@ func runIngest(ctx context.Context, args []string, maxInst int) error {
 			return err
 		}
 	} else {
-		fmt.Printf("discovered: %d\ningested: %d\nskipped: %d\nfailed: %d\nbatches: %d\n",
-			sum.Discovered, sum.Ingested, sum.Skipped, len(sum.Failed), sum.Batches)
+		fmt.Printf("discovered: %d\ningested: %d\nupdated: %d\nskipped: %d\nfailed: %d\nbatches: %d\n",
+			sum.Discovered, sum.Ingested, sum.Updated, sum.Skipped, len(sum.Failed), sum.Batches)
 		for _, fe := range sum.Failed {
 			fmt.Printf("failed: %s: %v\n", fe.Path, fe.Err)
 		}

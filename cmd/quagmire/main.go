@@ -23,7 +23,10 @@
 //	quagmire corpus   <tiktak|metabook|healthtrack|mini>  print a bundled synthetic policy
 //	quagmire corpus   gen -dir <dir> -n <count> [-seed S]  write a synthetic corpus
 //	quagmire ingest   -corpus <dir> -data <dir> [-workers N -batch N -json]
-//	                                           bulk-ingest a corpus into a store (resumable)
+//	                                           bulk-ingest a corpus into a store (resumable;
+//	                                           reruns re-analyze changed sources as new versions)
+//	quagmire store    inspect -data <dir> [-json]  read-only store report: snapshot format,
+//	                                           WAL watermark, per-policy versions and payload bytes
 package main
 
 import (
@@ -390,6 +393,9 @@ func run(args []string) error {
 
 	case "ingest":
 		return runIngest(ctx, rest[1:], *maxInst)
+
+	case "store":
+		return runStore(rest[1:])
 
 	case "corpus":
 		if len(rest) >= 2 && rest[1] == "gen" {

@@ -12,12 +12,19 @@ import (
 	"github.com/privacy-quagmire/quagmire/internal/extract"
 	"github.com/privacy-quagmire/quagmire/internal/graph"
 	"github.com/privacy-quagmire/quagmire/internal/kg"
+	"github.com/privacy-quagmire/quagmire/internal/smt"
 )
 
 // CodecVersion is the current analysis envelope schema version. Decoders
 // accept any version up to this and migrate older layouts; payloads from
 // a newer build are rejected rather than misread.
-const CodecVersion = 1
+//
+// v2 adds the optional interned solver-core image: when the encoding
+// analysis carries a shared incremental core, its hash-consed arena and
+// base clause set persist alongside the knowledge graph, and decoding
+// seeds the restored engine's core by table load instead of
+// re-clausifying and re-hash-consing the whole policy.
+const CodecVersion = 2
 
 // analysisEnvelope is the serialized form of one Analysis.
 type analysisEnvelope struct {
@@ -30,11 +37,15 @@ type analysisEnvelope struct {
 	ED      *graph.Graph     `json:"ed"`
 	DataH   *graph.Hierarchy `json:"data_hierarchy"`
 	EntityH *graph.Hierarchy `json:"entity_hierarchy"`
+	// Core is the persisted shared solver core (v2, optional — present
+	// only when the encoding engine ran with a shared incremental core).
+	Core *smt.CoreImage `json:"core,omitempty"`
 }
 
 // EncodeAnalysis serializes an analysis into the versioned envelope. The
-// query engine is derived state and is not serialized — decoding rebuilds
-// it.
+// query engine itself is derived state and is not serialized — but when it
+// runs a shared incremental core, the core's interned base state is
+// exported into the envelope so decoding restores it without recomputation.
 func EncodeAnalysis(a *Analysis) ([]byte, error) {
 	env := analysisEnvelope{
 		Codec:      CodecVersion,
@@ -43,6 +54,9 @@ func EncodeAnalysis(a *Analysis) ([]byte, error) {
 		ED:         a.KG.ED,
 		DataH:      a.KG.DataH,
 		EntityH:    a.KG.EntityH,
+	}
+	if a.Engine != nil {
+		env.Core = a.Engine.ExportCoreImage()
 	}
 	data, err := json.Marshal(env)
 	if err != nil {
@@ -98,15 +112,18 @@ func DecodeAnalysisEnvelope(data []byte) (*Analysis, error) {
 		DataH:   env.DataH,
 		EntityH: env.EntityH,
 	}
-	return &Analysis{Extraction: env.Extraction, KG: k}, nil
+	return &Analysis{Extraction: env.Extraction, KG: k, CoreImage: env.Core}, nil
 }
 
 // BuildEngine attaches a query engine — wired to this pipeline's limits,
-// workers, caches and metrics — to a decoded analysis. Idempotent: an
-// analysis that already has an engine is left untouched.
+// workers, caches and metrics — to a decoded analysis. A core image
+// decoded from a v2 payload is handed to the engine, which restores its
+// shared solver from it on first use. Idempotent: an analysis that
+// already has an engine is left untouched.
 func (p *Pipeline) BuildEngine(a *Analysis) {
 	if a.Engine == nil {
 		a.Engine = p.newEngine(a.KG)
+		a.Engine.PreloadCore = a.CoreImage
 	}
 }
 

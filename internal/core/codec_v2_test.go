@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/query"
+)
+
+// sharedPipeline builds a pipeline whose engines run the shared
+// incremental core — the configuration under which codec v2 persists the
+// interned solver state.
+func sharedPipeline(t testing.TB) *Pipeline {
+	t.Helper()
+	p, err := New(Options{SharedSolverCore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCodecV2PersistsSolverCore: encoding a shared-core analysis embeds
+// the interned arena + base clauses, and decoding restores the solver by
+// table load (counted by quagmire_ground_core_restores_total) instead of
+// rebuilding it — with identical verdicts.
+func TestCodecV2PersistsSolverCore(t *testing.T) {
+	ctx := context.Background()
+	p := sharedPipeline(t)
+	orig, err := p.Analyze(ctx, corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAnalysis(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env analysisEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Codec != 2 || env.Core == nil {
+		t.Fatalf("shared-core payload: codec %d, core nil=%v; want codec 2 with core", env.Codec, env.Core == nil)
+	}
+	if len(env.Core.Clauses) == 0 || len(env.Core.Arena.Syms) == 0 {
+		t.Fatalf("persisted core is empty: %d clauses, %d syms", len(env.Core.Clauses), len(env.Core.Arena.Syms))
+	}
+
+	p2 := sharedPipeline(t)
+	loaded, err := p2.DecodeAnalysis(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CoreImage == nil || loaded.Engine.PreloadCore == nil {
+		t.Fatal("decoded analysis lost the core image on the way to the engine")
+	}
+	for q, want := range map[string]query.Verdict{
+		"Does Acme sell my personal information?":                     query.Invalid,
+		"Does Acme share my email address with advertising partners?": query.Valid,
+	} {
+		res, err := loaded.Engine.Ask(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != want {
+			t.Errorf("%q verdict = %s, want %s", q, res.Verdict, want)
+		}
+	}
+	if restores := p2.Obs().Counter("quagmire_ground_core_restores_total").Value(); restores != 1 {
+		t.Errorf("core restores = %d, want 1", restores)
+	}
+	if builds := p2.Obs().Counter("quagmire_ground_core_builds_total").Value(); builds != 0 {
+		t.Errorf("core builds = %d, want 0 (restore should have preempted the build)", builds)
+	}
+}
+
+// TestCodecV2OmitsCoreWithoutSharedEngine: default pipelines (per-query
+// subgraph solving) have no long-lived core — their payloads must not grow
+// a core section, keeping ingest byte-output unchanged.
+func TestCodecV2OmitsCoreWithoutSharedEngine(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"core"`)) {
+		t.Error("non-shared payload contains a core section")
+	}
+	var env analysisEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Core != nil {
+		t.Error("non-shared payload decoded with a core image")
+	}
+}
+
+// TestCodecV1StillDecodes: a v1 payload (codec 1, no core section) must
+// decode on a current build — the engine simply rebuilds its core from
+// the knowledge graph as before.
+func TestCodecV1StillDecodes(t *testing.T) {
+	ctx := context.Background()
+	p := sharedPipeline(t)
+	a, err := p.Analyze(ctx, corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade to the v1 layout: codec 1, core section absent.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["codec"] = json.RawMessage("1")
+	delete(raw, "core")
+	v1, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := sharedPipeline(t)
+	loaded, err := p2.DecodeAnalysis(v1)
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	if loaded.CoreImage != nil {
+		t.Error("v1 payload produced a core image")
+	}
+	res, err := loaded.Engine.Ask(ctx, "Does Acme share my email address with advertising partners?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != query.Valid {
+		t.Errorf("v1-decoded verdict = %s, want %s", res.Verdict, query.Valid)
+	}
+	if builds := p2.Obs().Counter("quagmire_ground_core_builds_total").Value(); builds != 1 {
+		t.Errorf("core builds = %d, want 1 (v1 has no image to restore)", builds)
+	}
+}
+
+// TestCorruptCoreImageFallsBack: a tampered core image must not fail the
+// decode or the query — the engine detects the corruption at first use
+// and falls back to the full build.
+func TestCorruptCoreImageFallsBack(t *testing.T) {
+	ctx := context.Background()
+	p := sharedPipeline(t)
+	a, err := p.Analyze(ctx, corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env analysisEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Core.Arena.Terms[0] = 99 // invalid term kind
+	corrupted, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := sharedPipeline(t)
+	loaded, err := p2.DecodeAnalysis(corrupted)
+	if err != nil {
+		t.Fatalf("decode rejected payload with corrupt core: %v", err)
+	}
+	res, err := loaded.Engine.Ask(ctx, "Does Acme share my email address with advertising partners?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != query.Valid {
+		t.Errorf("fallback verdict = %s, want %s", res.Verdict, query.Valid)
+	}
+	obs := p2.Obs()
+	if fails := obs.Counter("quagmire_ground_core_restore_failures_total").Value(); fails != 1 {
+		t.Errorf("restore failures = %d, want 1", fails)
+	}
+	if builds := obs.Counter("quagmire_ground_core_builds_total").Value(); builds != 1 {
+		t.Errorf("core builds = %d, want 1 (the fallback)", builds)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+// E17: cold-boot cost across the three persistence generations. E15
+// showed that after lazy recovery the store's own linear replay is the
+// dominant boot cost at corpus scale; the indexed v2 snapshot removes
+// it. Each sweep point seeds a disk store with N analyzed policies and
+// measures three boots over identical logical content:
+//
+//	wal-replay  open a directory that never compacted — every record is
+//	            replayed from the log (the post-PR7 lazy-boot floor)
+//	indexed     open a compacted directory — header + metadata index
+//	            only, payload bytes stay on disk (snapshot v2)
+//	eager       indexed open plus decoding every stored analysis — what
+//	            a fully-warm boot still pays after the open itself
+//
+// The wal-replay/indexed ratio is the headline: it is what snapshot v2
+// shaves off boot-to-first-byte, and it grows with payload bytes since
+// the indexed open never reads them.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/core"
+	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+// BootRow is one point of the boot-cost sweep.
+type BootRow struct {
+	// Policies is the number of stored policies (one version each).
+	Policies int
+	// WALBytes is the uncompacted log size the wal-replay boot reads.
+	WALBytes int64
+	// SnapshotBytes is the v2 snapshot file size after compaction.
+	SnapshotBytes int64
+	// WALReplay is OpenDisk time against the never-compacted directory.
+	WALReplay time.Duration
+	// IndexedOpen is OpenDisk time against the compacted v2 directory.
+	IndexedOpen time.Duration
+	// EagerDecode is the additional time to load + decode every stored
+	// analysis after the indexed open.
+	EagerDecode time.Duration
+}
+
+// Speedup is the wal-replay/indexed boot ratio.
+func (r BootRow) Speedup() float64 {
+	if r.IndexedOpen == 0 {
+		return 0
+	}
+	return float64(r.WALReplay) / float64(r.IndexedOpen)
+}
+
+// BootSweep measures cold-boot cost at each policy count.
+func BootSweep(ctx context.Context, policyCounts []int) ([]BootRow, error) {
+	// A small pool of distinct analyses is cycled across the store: boot
+	// cost depends on stored bytes, not on how many unique texts produced
+	// them, and this keeps seeding O(pool) analyzer work per sweep.
+	p, err := core.New(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	const pool = 8
+	var payloads [][]byte
+	for i := 0; i < pool; i++ {
+		text := corpus.Generate(corpus.Config{
+			Company: fmt.Sprintf("BootCo%d", i), Seed: int64(2000 + i),
+			PracticeStatements: 40, BoilerplateEvery: 4,
+			DataRichness: 60, EntityRichness: 40,
+		})
+		a, err := p.Analyze(ctx, text)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := core.EncodeAnalysis(a)
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, payload)
+	}
+
+	var rows []BootRow
+	for _, n := range policyCounts {
+		row, err := bootOnce(p, payloads, n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func bootOnce(p *core.Pipeline, payloads [][]byte, n int) (BootRow, error) {
+	dir, err := os.MkdirTemp("", "quagmire-boot")
+	if err != nil {
+		return BootRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Seed with compaction disabled so every record stays in the WAL,
+	// batched to keep fsync count flat.
+	st, err := store.OpenDisk(dir, store.Options{SnapshotThreshold: -1})
+	if err != nil {
+		return BootRow{}, err
+	}
+	const batch = 64
+	for off := 0; off < n; off += batch {
+		var entries []store.BatchEntry
+		for i := off; i < n && i < off+batch; i++ {
+			entries = append(entries, store.BatchEntry{Version: store.Version{
+				VersionMeta: store.VersionMeta{Company: fmt.Sprintf("BootCo%d", i%len(payloads))},
+				Payload:     payloads[i%len(payloads)],
+			}})
+		}
+		if _, err := st.AppendBatch(entries); err != nil {
+			return BootRow{}, err
+		}
+	}
+	row := BootRow{Policies: n, WALBytes: st.Health().WALBytes}
+	// Crash: abandon st without Close, so the first reopen replays the
+	// whole log.
+
+	start := time.Now()
+	st2, err := store.OpenDisk(dir, store.Options{SnapshotThreshold: -1})
+	if err != nil {
+		return BootRow{}, err
+	}
+	row.WALReplay = time.Since(start)
+	// Clean shutdown compacts the log into an indexed v2 snapshot.
+	if err := st2.Close(); err != nil {
+		return BootRow{}, err
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "snapshot.v2")); err == nil {
+		row.SnapshotBytes = fi.Size()
+	}
+
+	start = time.Now()
+	st3, err := store.OpenDisk(dir, store.Options{SnapshotThreshold: -1})
+	if err != nil {
+		return BootRow{}, err
+	}
+	row.IndexedOpen = time.Since(start)
+	defer st3.Close()
+
+	pols, err := st3.List()
+	if err != nil {
+		return BootRow{}, err
+	}
+	if len(pols) != n {
+		return BootRow{}, fmt.Errorf("booted %d policies, want %d", len(pols), n)
+	}
+	start = time.Now()
+	for _, pol := range pols {
+		payload, err := st3.LoadPayload(pol.ID, pol.Versions)
+		if err != nil {
+			return BootRow{}, err
+		}
+		if _, err := p.DecodeAnalysis(payload); err != nil {
+			return BootRow{}, err
+		}
+	}
+	row.EagerDecode = time.Since(start)
+	return row, nil
+}
+
+// RenderBoot renders the sweep as a table.
+func RenderBoot(rows []BootRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %10s %12s %12s %12s %10s\n",
+		"Policies", "WAL KiB", "Snap KiB", "WAL replay", "Indexed", "Eager+", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d %10.1f %10.1f %12s %12s %12s %9.1fx\n",
+			r.Policies, float64(r.WALBytes)/1024, float64(r.SnapshotBytes)/1024,
+			r.WALReplay.Round(10*time.Microsecond), r.IndexedOpen.Round(10*time.Microsecond),
+			r.EagerDecode.Round(10*time.Microsecond), r.Speedup())
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestBootSweepShape runs the E17 sweep at toy scale: every duration is
+// populated, speedup is finite, and the renderer emits one row per point.
+func TestBootSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seeds analyzed policies; skipped in -short")
+	}
+	rows, err := BootSweep(context.Background(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Policies != 2 || r.WALBytes == 0 || r.SnapshotBytes == 0 {
+		t.Errorf("row not populated: %+v", r)
+	}
+	if r.WALReplay <= 0 || r.IndexedOpen <= 0 || r.EagerDecode <= 0 {
+		t.Errorf("durations not populated: %+v", r)
+	}
+	if r.Speedup() <= 0 {
+		t.Errorf("speedup = %v", r.Speedup())
+	}
+	out := RenderBoot(rows)
+	if !strings.Contains(out, "Speedup") || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -119,11 +119,11 @@ func recoverOnce(ctx context.Context, n int) (RecoveryRow, error) {
 	}
 	start = time.Now()
 	for _, pol := range pols {
-		v, err := st2.Version(pol.ID, pol.Versions)
+		payload, err := st2.LoadPayload(pol.ID, pol.Versions)
 		if err != nil {
 			return RecoveryRow{}, err
 		}
-		if _, err := p2.DecodeAnalysis(v.Payload); err != nil {
+		if _, err := p2.DecodeAnalysis(payload); err != nil {
 			return RecoveryRow{}, err
 		}
 	}

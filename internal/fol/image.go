@@ -1,0 +1,173 @@
+package fol
+
+// Arena persistence: an ArenaImage is the flattened, order-preserving form
+// of a hash-consed Arena. Because term and atom IDs are dense and every
+// node only references earlier IDs (hash-consing interns leaves before the
+// terms containing them), the image can be restored by a single positional
+// pass — recomputing hash buckets and groundness flags as it goes — with
+// no re-hash-consing, no structural dedup checks and no AST round trip.
+// That is what makes codec-v2 analysis payloads directly loadable instead
+// of recipes for recomputation.
+
+import "fmt"
+
+// ArenaImage is the serializable form of an Arena. Terms and atoms are
+// flat int32 streams:
+//
+//	terms: kind, sym, nargs, args... — one record per TermID, in ID order
+//	atoms: pred, flags, nargs, args... — one record per AtomID, in ID order
+//
+// flags bit 0 marks equality atoms, bit 1 uninterpreted (ambiguity
+// placeholder) predicates. Variable-ness of symbols and groundness of
+// terms/atoms are derived state, recomputed on load.
+type ArenaImage struct {
+	Syms  []string `json:"syms"`
+	Terms []int32  `json:"terms"`
+	Atoms []int32  `json:"atoms"`
+}
+
+const (
+	atomFlagEq            = 1
+	atomFlagUninterpreted = 2
+)
+
+// Image flattens the arena. The result shares no state with the arena and
+// is safe to serialize or load from another goroutine.
+func (a *Arena) Image() *ArenaImage {
+	img := &ArenaImage{
+		Syms:  append([]string(nil), a.syms...),
+		Terms: make([]int32, 0, len(a.terms)*3),
+		Atoms: make([]int32, 0, len(a.atoms)*3),
+	}
+	for _, n := range a.terms {
+		img.Terms = append(img.Terms, int32(n.kind), int32(n.sym), int32(len(n.args)))
+		for _, arg := range n.args {
+			img.Terms = append(img.Terms, int32(arg))
+		}
+	}
+	for _, n := range a.atoms {
+		var flags int32
+		if n.eq {
+			flags |= atomFlagEq
+		}
+		if n.uninterpreted {
+			flags |= atomFlagUninterpreted
+		}
+		img.Atoms = append(img.Atoms, int32(n.pred), flags, int32(len(n.args)))
+		for _, arg := range n.args {
+			img.Atoms = append(img.Atoms, int32(arg))
+		}
+	}
+	return img
+}
+
+// LoadArena restores an arena from an image. Every ID reference is
+// validated — symbols in range, term arguments strictly below the term
+// being defined (the topological order hash-consing guarantees), atom
+// arguments within the term table — so a corrupted or adversarial image
+// errors instead of producing an arena that indexes out of bounds.
+func LoadArena(img *ArenaImage) (*Arena, error) {
+	if img == nil {
+		return nil, fmt.Errorf("fol: nil arena image")
+	}
+	a := NewArena()
+	a.syms = append([]string(nil), img.Syms...)
+	a.varSyms = make([]bool, len(a.syms))
+	for i, s := range a.syms {
+		if prev, ok := a.symIDs[s]; ok {
+			return nil, fmt.Errorf("fol: arena image: symbol %q duplicated at %d and %d", s, prev, i)
+		}
+		a.symIDs[s] = Sym(i)
+	}
+
+	stream := img.Terms
+	for pos := 0; pos < len(stream); {
+		if len(stream)-pos < 3 {
+			return nil, fmt.Errorf("fol: arena image: truncated term record at %d", pos)
+		}
+		kind, sym, nargs := TermKind(stream[pos]), stream[pos+1], stream[pos+2]
+		pos += 3
+		if kind != TermVar && kind != TermConst && kind != TermApp {
+			return nil, fmt.Errorf("fol: arena image: bad term kind %d", kind)
+		}
+		if sym < 0 || int(sym) >= len(a.syms) {
+			return nil, fmt.Errorf("fol: arena image: term symbol %d out of range", sym)
+		}
+		if nargs < 0 || int(nargs) > len(stream)-pos {
+			return nil, fmt.Errorf("fol: arena image: term arg count %d out of range", nargs)
+		}
+		if nargs > 0 && kind != TermApp {
+			return nil, fmt.Errorf("fol: arena image: %d args on non-application term", nargs)
+		}
+		id := TermID(len(a.terms))
+		ground := kind != TermVar
+		var args []TermID
+		if nargs > 0 {
+			args = make([]TermID, nargs)
+			for i := range args {
+				arg := stream[pos+i]
+				if arg < 0 || TermID(arg) >= id {
+					return nil, fmt.Errorf("fol: arena image: term %d references arg %d (not yet defined)", id, arg)
+				}
+				args[i] = TermID(arg)
+				if !a.terms[arg].ground {
+					ground = false
+				}
+			}
+			pos += int(nargs)
+		}
+		a.terms = append(a.terms, termNode{kind: kind, sym: Sym(sym), args: args, ground: ground})
+		h := a.termHash(kind, Sym(sym), args)
+		a.termTable[h] = append(a.termTable[h], id)
+		if kind == TermVar {
+			a.varSyms[sym] = true
+		}
+	}
+
+	stream = img.Atoms
+	for pos := 0; pos < len(stream); {
+		if len(stream)-pos < 3 {
+			return nil, fmt.Errorf("fol: arena image: truncated atom record at %d", pos)
+		}
+		pred, flags, nargs := stream[pos], stream[pos+1], stream[pos+2]
+		pos += 3
+		if pred < 0 || int(pred) >= len(a.syms) {
+			return nil, fmt.Errorf("fol: arena image: atom predicate %d out of range", pred)
+		}
+		if flags&^(atomFlagEq|atomFlagUninterpreted) != 0 {
+			return nil, fmt.Errorf("fol: arena image: bad atom flags %d", flags)
+		}
+		if nargs < 0 || int(nargs) > len(stream)-pos {
+			return nil, fmt.Errorf("fol: arena image: atom arg count %d out of range", nargs)
+		}
+		eq := flags&atomFlagEq != 0
+		if eq && nargs != 2 {
+			return nil, fmt.Errorf("fol: arena image: equality atom with %d args", nargs)
+		}
+		ground := true
+		var args []TermID
+		if nargs > 0 {
+			args = make([]TermID, nargs)
+			for i := range args {
+				arg := stream[pos+i]
+				if arg < 0 || int(arg) >= len(a.terms) {
+					return nil, fmt.Errorf("fol: arena image: atom arg term %d out of range", arg)
+				}
+				args[i] = TermID(arg)
+				if !a.terms[arg].ground {
+					ground = false
+				}
+			}
+			pos += int(nargs)
+		}
+		id := AtomID(len(a.atoms))
+		a.atoms = append(a.atoms, atomNode{
+			pred: Sym(pred), eq: eq,
+			uninterpreted: flags&atomFlagUninterpreted != 0,
+			args:          args, ground: ground,
+		})
+		h := a.atomHash(Sym(pred), eq, args)
+		a.atomTable[h] = append(a.atomTable[h], id)
+	}
+	return a, nil
+}

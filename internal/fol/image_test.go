@@ -1,0 +1,138 @@
+package fol
+
+import (
+	"reflect"
+	"testing"
+)
+
+// imageFixture interns a representative mix — variables, constants,
+// nested applications, equality and uninterpreted atoms — and returns the
+// arena plus the interned clauses.
+func imageFixture(t *testing.T) (*Arena, []IClause) {
+	t.Helper()
+	a := NewArena()
+	formulas := []*Formula{
+		Pred("share", Const("acme"), Const("email"), Const("advertiser")),
+		Forall("X", Or(Not(Pred("collect", Const("acme"), Var("X"))),
+			Pred("store", Const("acme"), Var("X")))),
+		Eq(App("region", Const("acme")), Const("eu")),
+		Not(UninterpretedPred("ambiguous_retention")),
+		Pred("subtype", Const("email"), App("pii", Const("contact"), App("id", Const("email")))),
+	}
+	var ics []IClause
+	for _, f := range formulas {
+		clauses, err := ClausesOf(Simplify(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range clauses {
+			ics = append(ics, a.InternClause(c))
+		}
+	}
+	return a, ics
+}
+
+// TestArenaImageRoundTrip pins the core restore property: a loaded arena
+// is positionally identical to the original — same IDs, same derived
+// flags, and, critically, the same hash buckets, so interning the same
+// structure into the restored arena dedups to the same ID instead of
+// allocating a new node.
+func TestArenaImageRoundTrip(t *testing.T) {
+	a, ics := imageFixture(t)
+	got, err := LoadArena(a.Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTerms() != a.NumTerms() || got.NumAtoms() != a.NumAtoms() {
+		t.Fatalf("restored %d terms / %d atoms, want %d / %d",
+			got.NumTerms(), got.NumAtoms(), a.NumTerms(), a.NumAtoms())
+	}
+	if !reflect.DeepEqual(got.terms, a.terms) {
+		t.Error("term nodes differ after round trip")
+	}
+	if !reflect.DeepEqual(got.atoms, a.atoms) {
+		t.Error("atom nodes differ after round trip")
+	}
+	if !reflect.DeepEqual(got.syms, a.syms) || !reflect.DeepEqual(got.varSyms, a.varSyms) {
+		t.Error("symbol tables differ after round trip")
+	}
+	// Hash-consing still dedups: re-interning every original clause into
+	// the restored arena must find the existing atoms, not grow the arena.
+	for _, ic := range ics {
+		for _, l := range ic {
+			id := got.internAtomNode(a.atoms[l.Atom()].pred, a.atoms[l.Atom()].eq,
+				a.atoms[l.Atom()].uninterpreted, a.atoms[l.Atom()].args)
+			if id != l.Atom() {
+				t.Fatalf("re-interning atom %d produced %d", l.Atom(), id)
+			}
+		}
+	}
+	if got.NumAtoms() != a.NumAtoms() || got.NumTerms() != a.NumTerms() {
+		t.Errorf("re-interning grew the restored arena to %d terms / %d atoms",
+			got.NumTerms(), got.NumAtoms())
+	}
+}
+
+// TestLoadArenaRejectsCorruption: every malformed image errors instead of
+// panicking or producing an arena that indexes out of bounds.
+func TestLoadArenaRejectsCorruption(t *testing.T) {
+	base := func() *ArenaImage {
+		a, _ := imageFixture(t)
+		return a.Image()
+	}
+	cases := map[string]func(*ArenaImage){
+		"nil image":           nil,
+		"truncated terms":     func(img *ArenaImage) { img.Terms = img.Terms[:len(img.Terms)-1] },
+		"truncated atoms":     func(img *ArenaImage) { img.Atoms = img.Atoms[:len(img.Atoms)-1] },
+		"bad term kind":       func(img *ArenaImage) { img.Terms[0] = 99 },
+		"negative term kind":  func(img *ArenaImage) { img.Terms[0] = -1 },
+		"sym out of range":    func(img *ArenaImage) { img.Terms[1] = int32(len(img.Syms)) },
+		"huge arg count":      func(img *ArenaImage) { img.Terms[2] = 1 << 30 },
+		"negative arg count":  func(img *ArenaImage) { img.Atoms[2] = -5 },
+		"duplicate symbol":    func(img *ArenaImage) { img.Syms[1] = img.Syms[0] },
+		"bad atom flags":      func(img *ArenaImage) { img.Atoms[1] = 8 },
+		"atom pred range":     func(img *ArenaImage) { img.Atoms[0] = -2 },
+		"forward term ref":    func(img *ArenaImage) { forwardTermRef(img) },
+		"atom arg past terms": func(img *ArenaImage) { atomArgPastTerms(img) },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			var img *ArenaImage
+			if corrupt != nil {
+				img = base()
+				corrupt(img)
+			}
+			if _, err := LoadArena(img); err == nil {
+				t.Errorf("%s: LoadArena accepted a corrupt image", name)
+			}
+		})
+	}
+}
+
+// forwardTermRef rewrites the first application's first argument to point
+// at a term defined later (or itself) — invalid topological order.
+func forwardTermRef(img *ArenaImage) {
+	pos, id := 0, int32(0)
+	for pos < len(img.Terms) {
+		nargs := img.Terms[pos+2]
+		if nargs > 0 {
+			img.Terms[pos+3] = id
+			return
+		}
+		pos += 3 + int(nargs)
+		id++
+	}
+}
+
+// atomArgPastTerms points an atom argument past the term table.
+func atomArgPastTerms(img *ArenaImage) {
+	pos := 0
+	for pos < len(img.Atoms) {
+		nargs := img.Atoms[pos+2]
+		if nargs > 0 {
+			img.Atoms[pos+3] = int32(len(img.Terms))
+			return
+		}
+		pos += 3 + int(nargs)
+	}
+}

@@ -14,6 +14,13 @@
 // tail the interrupt cut off — completed policies are never re-analyzed
 // or duplicated.
 //
+// Reruns are also incremental in content, not just in presence: every
+// stored version records the SHA-256 of its source document, and a rerun
+// compares that hash against the file on disk. An unchanged file skips;
+// a changed one is re-analyzed and appended as a new version of the same
+// policy, so periodic re-crawls accumulate version history instead of
+// duplicating policies or silently serving stale analyses.
+//
 // Determinism: the committer holds a reorder buffer keyed by discovery
 // sequence and commits strictly in file order, so batch boundaries,
 // assigned policy IDs, and store contents are identical whether the
@@ -22,6 +29,8 @@ package ingest
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io/fs"
 	"log"
@@ -80,11 +89,15 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
-// Progress is the running state reported after each committed batch.
+// Progress is the running state reported after each committed batch or
+// version update.
 type Progress struct {
 	// Committed counts policies durably stored by this run so far.
 	Committed int
-	// Skipped counts files already present from an earlier run.
+	// Updated counts policies whose source changed and gained a new
+	// version this run.
+	Updated int
+	// Skipped counts files already present and unchanged.
 	Skipped int
 	// Failed counts files whose analysis failed this run.
 	Failed int
@@ -108,7 +121,11 @@ type Summary struct {
 	Discovered int
 	// Ingested counts policies durably committed by this run.
 	Ingested int
-	// Skipped counts files resumed past (already in the store).
+	// Updated counts existing policies whose source content changed and
+	// were appended as a new version.
+	Updated int
+	// Skipped counts files resumed past (already in the store with
+	// unchanged content).
 	Skipped int
 	// Batches counts durable store appends (≈ WAL fsyncs) issued.
 	Batches int
@@ -118,19 +135,25 @@ type Summary struct {
 }
 
 // job is one file heading into the worker pool; seq is its position in
-// the sorted discovery order.
+// the sorted discovery order. A non-empty updateID marks a re-ingest of
+// a changed source: the result appends to that policy (CAS on expect)
+// instead of creating a new one.
 type job struct {
-	seq  int
-	rel  string
-	path string
+	seq      int
+	rel      string
+	path     string
+	updateID string
+	expect   int
 }
 
 // result is one analyzed file heading into the committer.
 type result struct {
-	seq   int
-	rel   string
-	entry store.BatchEntry
-	err   error
+	seq      int
+	rel      string
+	updateID string
+	expect   int
+	entry    store.BatchEntry
+	err      error
 }
 
 // Run ingests every policy file under dir into st, analyzing with p.
@@ -146,23 +169,44 @@ func Run(ctx context.Context, p *core.Pipeline, st store.PolicyStore, dir string
 	sum.Discovered = len(files)
 
 	// Resume: every policy name already in the store is a file a prior
-	// run durably completed — skip it without re-analyzing.
+	// run durably completed. Unchanged content (same source hash) skips;
+	// changed content becomes an update job appending the next version.
+	// Versions predating hash recording carry no hash and always skip —
+	// indistinguishable from unchanged, and never worth re-analyzing on
+	// every rerun.
 	existing, err := st.List()
 	if err != nil {
 		return sum, fmt.Errorf("ingest: list store for resume: %w", err)
 	}
-	done := make(map[string]bool, len(existing))
+	done := make(map[string]store.Policy, len(existing))
 	for _, pol := range existing {
-		done[pol.Name] = true
+		done[pol.Name] = pol
 	}
 	var jobs []job
 	for _, rel := range files {
-		if done[rel] {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		pol, present := done[rel]
+		if !present {
+			jobs = append(jobs, job{seq: len(jobs), rel: rel, path: path})
+			continue
+		}
+		latest, err := st.Version(pol.ID, pol.Versions)
+		if err != nil {
+			return sum, fmt.Errorf("ingest: read %s v%d for resume: %w", pol.ID, pol.Versions, err)
+		}
+		changed := false
+		if latest.SourceHash != "" {
+			// A file that cannot be hashed now goes to the workers, which
+			// surface the read failure through the normal Failed path.
+			h, err := hashSourceFile(path)
+			changed = err != nil || h != latest.SourceHash
+		}
+		if !changed {
 			sum.Skipped++
 			opts.Obs.Counter("quagmire_ingest_files_total", "status", "skipped").Inc()
 			continue
 		}
-		jobs = append(jobs, job{seq: len(jobs), rel: rel, path: filepath.Join(dir, filepath.FromSlash(rel))})
+		jobs = append(jobs, job{seq: len(jobs), rel: rel, path: path, updateID: pol.ID, expect: pol.Versions})
 	}
 	if len(jobs) == 0 {
 		return sum, nil
@@ -192,7 +236,7 @@ func Run(ctx context.Context, p *core.Pipeline, st store.PolicyStore, dir string
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				r := result{seq: j.seq, rel: j.rel}
+				r := result{seq: j.seq, rel: j.rel, updateID: j.updateID, expect: j.expect}
 				r.entry, r.err = analyzeFile(ctx, p, j, opts)
 				select {
 				case resCh <- r:
@@ -210,6 +254,14 @@ func Run(ctx context.Context, p *core.Pipeline, st store.PolicyStore, dir string
 	pending := make(map[int]result)
 	batch := make([]store.BatchEntry, 0, opts.batchSize())
 	next := 0
+	report := func() {
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Committed: sum.Ingested, Updated: sum.Updated, Skipped: sum.Skipped,
+				Failed: len(sum.Failed), Total: sum.Discovered,
+			})
+		}
+	}
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
@@ -223,12 +275,7 @@ func Run(ctx context.Context, p *core.Pipeline, st store.PolicyStore, dir string
 		opts.Obs.Counter("quagmire_ingest_files_total", "status", "ingested").Add(uint64(len(batch)))
 		opts.Obs.Histogram("quagmire_ingest_batch_policies", obs.CountBuckets).Observe(float64(len(batch)))
 		batch = batch[:0]
-		if opts.Progress != nil {
-			opts.Progress(Progress{
-				Committed: sum.Ingested, Skipped: sum.Skipped,
-				Failed: len(sum.Failed), Total: sum.Discovered,
-			})
-		}
+		report()
 		return nil
 	}
 	for r := range resCh {
@@ -244,6 +291,21 @@ func Run(ctx context.Context, p *core.Pipeline, st store.PolicyStore, dir string
 				sum.Failed = append(sum.Failed, FileError{Path: rr.rel, Err: rr.err})
 				opts.Obs.Counter("quagmire_ingest_files_total", "status", "failed").Inc()
 				opts.logf("ingest: %s: %v", rr.rel, rr.err)
+				continue
+			}
+			if rr.updateID != "" {
+				// Version updates append individually (CAS on the version
+				// count seen at scan time) in discovery order. Flush the
+				// pending creates first so the WAL keeps file order.
+				if err := flush(); err != nil {
+					return sum, err
+				}
+				if _, err := st.Append(rr.updateID, rr.expect, rr.entry.Version); err != nil {
+					return sum, fmt.Errorf("ingest: update %s: %w", rr.rel, err)
+				}
+				sum.Updated++
+				opts.Obs.Counter("quagmire_ingest_files_total", "status", "updated").Inc()
+				report()
 				continue
 			}
 			batch = append(batch, rr.entry)
@@ -265,12 +327,24 @@ func Run(ctx context.Context, p *core.Pipeline, st store.PolicyStore, dir string
 	return sum, nil
 }
 
+// hashSourceFile returns the hex SHA-256 of a source document's raw
+// bytes — the change detector for incremental re-ingest.
+func hashSourceFile(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // analyzeFile turns one corpus file into a ready-to-commit batch entry.
 func analyzeFile(ctx context.Context, p *core.Pipeline, j job, opts Options) (store.BatchEntry, error) {
 	raw, err := os.ReadFile(j.path)
 	if err != nil {
 		return store.BatchEntry{}, err
 	}
+	srcSum := sha256.Sum256(raw)
 	text := string(raw)
 	if ext := strings.ToLower(filepath.Ext(j.path)); ext == ".html" || ext == ".htm" {
 		text = htmltext.Extract(text)
@@ -290,7 +364,8 @@ func analyzeFile(ctx context.Context, p *core.Pipeline, j job, opts Options) (st
 		Name: j.rel,
 		Version: store.Version{
 			VersionMeta: store.VersionMeta{
-				Company: a.Extraction.Company,
+				Company:    a.Extraction.Company,
+				SourceHash: hex.EncodeToString(srcSum[:]),
 				Stats: store.VersionStats{
 					Nodes: st.Nodes, Edges: st.Edges, Entities: st.Entities,
 					DataTypes: st.DataTypes,

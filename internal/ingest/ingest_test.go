@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -67,28 +68,28 @@ func TestIngestDeterminism(t *testing.T) {
 		if sl[i] != pl[i] {
 			t.Errorf("list[%d] differs:\n serial  %+v\n parallel %+v", i, sl[i], pl[i])
 		}
-		sv, err := serial.Version(sl[i].ID, 1)
+		sv, err := serial.LoadPayload(sl[i].ID, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pv, err := parallel.Version(pl[i].ID, 1)
+		pv, err := parallel.LoadPayload(pl[i].ID, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(sv.Payload, pv.Payload) {
+		if !bytes.Equal(sv, pv) {
 			t.Errorf("%s payload differs between serial and parallel ingest", sl[i].ID)
 		}
 	}
 
 	// Identical payloads must answer queries identically; spot-check one
 	// decoded engine from each side.
-	sv, _ := serial.Version(sl[0].ID, 1)
-	pv, _ := parallel.Version(pl[0].ID, 1)
-	sa, err := p.DecodeAnalysis(sv.Payload)
+	sv, _ := serial.LoadPayload(sl[0].ID, 1)
+	pv, _ := parallel.LoadPayload(pl[0].ID, 1)
+	sa, err := p.DecodeAnalysis(sv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pa, err := p.DecodeAnalysis(pv.Payload)
+	pa, err := p.DecodeAnalysis(pv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +180,135 @@ func TestIngestResume(t *testing.T) {
 	}
 	if sum3.Ingested != 0 || sum3.Skipped != 9 {
 		t.Errorf("no-op rerun = %+v, want 0 ingested / 9 skipped", sum3)
+	}
+}
+
+// TestIngestDetectsChangedSources: a rerun over a corpus where some
+// files changed re-analyzes exactly the changed ones, appending each as a
+// new version of the existing policy — unchanged files skip by source
+// hash, and nothing is duplicated.
+func TestIngestDetectsChangedSources(t *testing.T) {
+	dir := writeTestCorpus(t, 6)
+	p := testPipeline(t)
+	reg := obs.NewRegistry()
+	st, err := store.OpenDisk(t.TempDir(), store.Options{Clock: fixedClock, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	sum1, err := Run(context.Background(), p, st, dir, Options{Workers: 2, BatchSize: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1.Ingested != 6 || sum1.Updated != 0 {
+		t.Fatalf("first run = %+v", sum1)
+	}
+
+	// Edit two corpus files; their next ingest must become version 2.
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("corpus files: %v, %v", files, err)
+	}
+	sort.Strings(files)
+	changed := map[string]bool{}
+	for _, f := range files[:2] {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edited := string(raw) + "\nWe also collect your postal address for shipping."
+		if err := os.WriteFile(f, []byte(edited), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		changed[filepath.Base(f)] = true
+	}
+
+	sum2, err := Run(context.Background(), p, st, dir, Options{Workers: 2, BatchSize: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Ingested != 0 || sum2.Updated != 2 || sum2.Skipped != 4 {
+		t.Fatalf("rerun = %+v, want 0 ingested / 2 updated / 4 skipped", sum2)
+	}
+	if got := reg.Counter("quagmire_ingest_files_total", "status", "updated").Value(); got != 2 {
+		t.Errorf("updated counter = %d, want 2", got)
+	}
+
+	list, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 6 {
+		t.Fatalf("store has %d policies after rerun, want 6 (no duplicates)", len(list))
+	}
+	for _, pol := range list {
+		want := 1
+		if changed[pol.Name] {
+			want = 2
+		}
+		if pol.Versions != want {
+			t.Errorf("%s has %d versions, want %d", pol.Name, pol.Versions, want)
+		}
+		// Every latest version records its source hash and it matches the
+		// file on disk now.
+		v, err := st.Version(pol.ID, pol.Versions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := hashSourceFile(filepath.Join(dir, filepath.FromSlash(pol.Name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.SourceHash != h {
+			t.Errorf("%s v%d source hash %q, file hash %q", pol.Name, pol.Versions, v.SourceHash, h)
+		}
+	}
+
+	// Third run: everything now matches — a pure no-op.
+	sum3, err := Run(context.Background(), p, st, dir, Options{Workers: 2, BatchSize: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum3.Ingested != 0 || sum3.Updated != 0 || sum3.Skipped != 6 {
+		t.Errorf("no-op rerun = %+v, want 6 skipped only", sum3)
+	}
+}
+
+// TestIngestLegacyVersionsSkip: stored versions predating hash recording
+// (empty SourceHash) always skip — a rerun must not re-analyze the whole
+// corpus just because the store is old.
+func TestIngestLegacyVersionsSkip(t *testing.T) {
+	dir := writeTestCorpus(t, 3)
+	p := testPipeline(t)
+	st := store.NewMem(store.Options{Clock: fixedClock})
+	if _, err := Run(context.Background(), p, st, dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a legacy store: re-create the policies without hashes.
+	legacy := store.NewMem(store.Options{Clock: fixedClock})
+	list, _ := st.List()
+	for _, pol := range list {
+		payload, err := st.LoadPayload(pol.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := st.Version(pol.ID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.SourceHash = ""
+		v.Payload = payload
+		if _, err := legacy.Create(pol.Name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := Run(context.Background(), p, legacy, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 3 || sum.Ingested != 0 || sum.Updated != 0 {
+		t.Errorf("legacy rerun = %+v, want 3 skipped", sum)
 	}
 }
 

@@ -152,11 +152,11 @@ func (c *engineCell) get(s *Server, source string) (*core.Analysis, error) {
 }
 
 func (c *engineCell) build(s *Server) (*core.Analysis, error) {
-	v, err := s.store.Version(c.id, c.version)
+	payload, err := s.store.LoadPayload(c.id, c.version)
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.DecodeAnalysisEnvelope(v.Payload)
+	a, err := core.DecodeAnalysisEnvelope(payload)
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,12 @@ package server
 //
 // The point of lazy recovery is that "lazy" stays flat as the policy count
 // grows while "eager" scales linearly with it; "warmed" bounds the total
-// background work. EXPERIMENTS.md E15 runs the same sweep at 100/1k scale.
+// background work. The seeded directory is a cleanly-compacted snapshot,
+// so since snapshot format v2 every mode here boots through the indexed
+// open path (header + metadata index, payloads lazy behind LoadPayload) —
+// the lazy legs are guarded against BENCH_PR9.json to lock that in, on
+// top of the BENCH_PR7.json guard from the v1 era. EXPERIMENTS.md E15
+// runs the same sweep at 100/1k scale; E17 isolates the format A/B.
 
 import (
 	"fmt"

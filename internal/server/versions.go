@@ -82,22 +82,22 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	vFrom, err := s.store.Version(id, from)
+	pFrom, err := s.store.LoadPayload(id, from)
 	if err != nil {
 		storeError(w, err)
 		return
 	}
-	vTo, err := s.store.Version(id, to)
+	pTo, err := s.store.LoadPayload(id, to)
 	if err != nil {
 		storeError(w, err)
 		return
 	}
-	exFrom, err := core.DecodeExtraction(vFrom.Payload)
+	exFrom, err := core.DecodeExtraction(pFrom)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "decode version %d: %v", from, err)
 		return
 	}
-	exTo, err := core.DecodeExtraction(vTo.Payload)
+	exTo, err := core.DecodeExtraction(pTo)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "decode version %d: %v", to, err)
 		return

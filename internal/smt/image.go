@@ -1,0 +1,99 @@
+package smt
+
+// Core persistence: a CoreImage captures everything an Incremental solver
+// computed from its base assertions — the hash-consed arena and the
+// interned base clauses — so a restored solver skips simplification,
+// clausification and re-hash-consing entirely. Restoring replays only the
+// cheap post-interning bookkeeping (universe harvest, ground/quantified
+// routing, trigger selection); scoped goals, instantiation and learned
+// clauses regenerate on the first Solve, exactly as they would after a
+// fresh AssertBase.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+)
+
+// CoreImage is the serializable base state of an Incremental solver.
+type CoreImage struct {
+	// Arena is the flattened hash-consed term/atom store.
+	Arena *fol.ArenaImage `json:"arena"`
+	// Clauses are the base clauses in assertion order, each literal an
+	// fol.ILit (AtomID<<1 | negated) into Arena.
+	Clauses [][]int32 `json:"clauses"`
+	// SkolemSeq restores the skolem tag counter so formulas asserted after
+	// the restore never collide with persisted Skolem symbols.
+	SkolemSeq int `json:"skolem_seq"`
+	// Placeholders are the ambiguity markers seen in base assertions.
+	Placeholders []string `json:"placeholders,omitempty"`
+}
+
+// Image exports the solver's base state. Only base assertions are
+// captured — scoped goals, ground instances and learned clauses are
+// per-session and regenerate on the next Solve — so an image taken before
+// or after queries restores to the same solver.
+func (inc *Incremental) Image() *CoreImage {
+	g := inc.g
+	img := &CoreImage{
+		Arena:     g.arena.Image(),
+		Clauses:   make([][]int32, len(g.baseClauses)),
+		SkolemSeq: g.skolemSeq,
+	}
+	for i, ic := range g.baseClauses {
+		cl := make([]int32, len(ic))
+		for j, l := range ic {
+			cl[j] = int32(l)
+		}
+		img.Clauses[i] = cl
+	}
+	for p := range inc.placeholders {
+		img.Placeholders = append(img.Placeholders, p)
+	}
+	sort.Strings(img.Placeholders)
+	return img
+}
+
+// NewIncrementalFromImage reconstructs an incremental solver from a
+// persisted image. Clause literals are range-checked against the restored
+// arena, so a corrupted image errors instead of panicking. The returned
+// solver is behaviorally identical to one built by AssertBase on the
+// original formulas.
+func NewIncrementalFromImage(lim Limits, strategy InstStrategy, img *CoreImage) (*Incremental, error) {
+	if img == nil {
+		return nil, fmt.Errorf("smt: nil core image")
+	}
+	arena, err := fol.LoadArena(img.Arena)
+	if err != nil {
+		return nil, fmt.Errorf("smt: core image: %w", err)
+	}
+	if img.SkolemSeq < 0 {
+		return nil, fmt.Errorf("smt: core image: negative skolem sequence %d", img.SkolemSeq)
+	}
+	inc := NewIncremental(lim, strategy)
+	g := inc.g
+	g.arena = arena
+	numAtoms := arena.NumAtoms()
+	for i, cl := range img.Clauses {
+		ic := make(fol.IClause, len(cl))
+		for j, raw := range cl {
+			l := fol.ILit(raw)
+			if raw < 0 || int(l.Atom()) >= numAtoms {
+				return nil, fmt.Errorf("smt: core image: clause %d literal %d out of range", i, raw)
+			}
+			ic[j] = l
+		}
+		// Keep a copy for re-export before addInterned (which may
+		// canonicalize ground clauses in place).
+		cp := make(fol.IClause, len(ic))
+		copy(cp, ic)
+		g.baseClauses = append(g.baseClauses, cp)
+		g.addInterned(ic, 0)
+	}
+	g.skolemSeq = img.SkolemSeq
+	for _, p := range img.Placeholders {
+		inc.placeholders[p] = true
+	}
+	return inc, nil
+}

@@ -1,0 +1,157 @@
+package smt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/privacy-quagmire/quagmire/internal/fol"
+)
+
+// imageBase builds an Incremental mixing quantified axioms, ground facts,
+// function symbols and an ambiguity placeholder — every clause shape the
+// image must carry.
+func imageBase(t *testing.T, strategy InstStrategy) *Incremental {
+	t.Helper()
+	inc := NewIncremental(Limits{MaxInstantiations: 20000, MaxRounds: 6}, strategy)
+	err := inc.AssertBase(
+		fol.Forall("x", fol.Implies(fol.Pred("p", fol.Var("x")), fol.Pred("q", fol.Var("x")))),
+		fol.Pred("p", fol.Const("a")),
+		fol.Pred("p", fol.Const("b")),
+		fol.Eq(fol.App("owner", fol.Const("a")), fol.Const("acme")),
+		fol.Implies(fol.UninterpretedPred("ambiguous_scope"), fol.Pred("q", fol.Const("c"))),
+	)
+	if err != nil {
+		t.Fatalf("AssertBase: %v", err)
+	}
+	return inc
+}
+
+// TestCoreImageRoundTrip: a restored solver answers exactly like the
+// original across a goal sequence, and re-exporting it yields an
+// identical image (the fixed point that proves nothing was lost).
+func TestCoreImageRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	for _, strategy := range []InstStrategy{FullGrounding, TriggerBased} {
+		t.Run(fmt.Sprintf("strategy=%d", strategy), func(t *testing.T) {
+			orig := imageBase(t, strategy)
+			img := orig.Image()
+
+			// JSON round trip — the image travels inside analysis payloads.
+			data, err := json.Marshal(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded CoreImage
+			if err := json.Unmarshal(data, &decoded); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := NewIncrementalFromImage(
+				Limits{MaxInstantiations: 20000, MaxRounds: 6}, strategy, &decoded)
+			if err != nil {
+				t.Fatalf("NewIncrementalFromImage: %v", err)
+			}
+			if !reflect.DeepEqual(restored.Image(), img) {
+				t.Error("re-exported image differs from the original")
+			}
+
+			// The function symbol in the base makes grounding incomplete, so
+			// Sat degrades to Unknown — on both solvers equally. want pins
+			// only the sound Unsat verdicts; every step asserts original and
+			// restored agree exactly.
+			goals := []struct {
+				goal  *fol.Formula
+				conds []*fol.Formula
+				want  Status
+			}{
+				{nil, nil, 0},
+				{fol.Not(fol.Pred("q", fol.Const("a"))), nil, Unsat},
+				{fol.Not(fol.Pred("q", fol.Const("b"))), nil, Unsat},
+				{fol.Not(fol.Pred("q", fol.Const("c"))), nil, 0},
+				{fol.Not(fol.Pred("q", fol.Const("c"))),
+					[]*fol.Formula{fol.UninterpretedPred("ambiguous_scope")}, Unsat},
+				{nil, nil, 0},
+			}
+			for i, g := range goals {
+				ro := orig.Solve(ctx, g.goal, g.conds...)
+				rr := restored.Solve(ctx, g.goal, g.conds...)
+				if ro.Status != rr.Status {
+					t.Fatalf("goal %d: original %v, restored %v (%s / %s)",
+						i, ro.Status, rr.Status, ro.Reason, rr.Reason)
+				}
+				if g.want != 0 && ro.Status != g.want {
+					t.Fatalf("goal %d: want %v, got %v (%s)", i, g.want, ro.Status, ro.Reason)
+				}
+				if !reflect.DeepEqual(ro.Placeholders, rr.Placeholders) {
+					t.Errorf("goal %d: placeholders %v vs %v", i, ro.Placeholders, rr.Placeholders)
+				}
+			}
+
+			// Asserting after the restore works and skolem tags continue from
+			// the persisted sequence instead of colliding with it.
+			if err := restored.AssertBase(fol.Pred("p", fol.Const("d"))); err != nil {
+				t.Fatalf("post-restore AssertBase: %v", err)
+			}
+			if res := restored.Solve(ctx, fol.Not(fol.Pred("q", fol.Const("d")))); res.Status != Unsat {
+				t.Fatalf("post-restore solve: want Unsat, got %v (%s)", res.Status, res.Reason)
+			}
+		})
+	}
+}
+
+// TestCoreImageTakenAfterQueries: an image taken after heavy querying
+// still restores to a correct solver. The arena it carries is a superset
+// of the fresh one (goal atoms and instantiated terms were interned by the
+// solves), but the base clause set is identical, so verdicts are too.
+func TestCoreImageTakenAfterQueries(t *testing.T) {
+	ctx := context.Background()
+	fresh := imageBase(t, FullGrounding).Image()
+	used := imageBase(t, FullGrounding)
+	for i := 0; i < 4; i++ {
+		used.Solve(ctx, fol.Not(fol.Pred("q", fol.Const("a"))))
+		used.Solve(ctx, nil)
+	}
+	img := used.Image()
+	if !reflect.DeepEqual(img.Clauses, fresh.Clauses) {
+		t.Error("base clauses changed across scoped solves")
+	}
+	restored, err := NewIncrementalFromImage(Limits{MaxInstantiations: 20000, MaxRounds: 6}, FullGrounding, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := restored.Solve(ctx, fol.Not(fol.Pred("q", fol.Const("a")))); res.Status != Unsat {
+		t.Fatalf("restored-from-used solve: want Unsat, got %v (%s)", res.Status, res.Reason)
+	}
+	if got, want := restored.Solve(ctx, nil).Status, used.Solve(ctx, nil).Status; got != want {
+		t.Fatalf("restored-from-used base solve: got %v, original gives %v", got, want)
+	}
+}
+
+// TestCoreImageRejectsCorruption: malformed images error, never panic.
+func TestCoreImageRejectsCorruption(t *testing.T) {
+	base := func() *CoreImage { return imageBase(t, FullGrounding).Image() }
+	cases := map[string]func(*CoreImage){
+		"nil image":   nil,
+		"nil arena":   func(img *CoreImage) { img.Arena = nil },
+		"bad literal": func(img *CoreImage) { img.Clauses[0][0] = -3 },
+		"literal past atoms": func(img *CoreImage) {
+			img.Clauses[0][0] = int32(len(img.Arena.Atoms)) * 4
+		},
+		"negative skolem": func(img *CoreImage) { img.SkolemSeq = -1 },
+		"corrupt arena":   func(img *CoreImage) { img.Arena.Terms[0] = 77 },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			var img *CoreImage
+			if corrupt != nil {
+				img = base()
+				corrupt(img)
+			}
+			if _, err := NewIncrementalFromImage(Limits{}, FullGrounding, img); err == nil {
+				t.Errorf("%s: restore accepted a corrupt image", name)
+			}
+		})
+	}
+}

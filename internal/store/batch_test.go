@@ -53,12 +53,12 @@ func TestAppendBatchAssignsSequentialIDs(t *testing.T) {
 				t.Errorf("post-batch ID = %q, want p7", after.ID)
 			}
 			// Payloads round-trip per entry.
-			v, err := s.Version(pols[3].ID, 1)
+			payload, err := s.LoadPayload(pols[3].ID, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if string(v.Payload) != "payload-3" {
-				t.Errorf("payload = %q", v.Payload)
+			if string(payload) != "payload-3" {
+				t.Errorf("payload = %q", payload)
 			}
 		})
 	}
@@ -106,12 +106,12 @@ func TestAppendBatchSurvivesReopen(t *testing.T) {
 			t.Errorf("list[%d].ID = %q, want %q", i, p.ID, want)
 		}
 	}
-	v, err := d2.Version("p5", 1)
+	payload, err := d2.LoadPayload("p5", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(v.Payload) != "payload-4" {
-		t.Errorf("payload = %q", v.Payload)
+	if string(payload) != "payload-4" {
+		t.Errorf("payload = %q", payload)
 	}
 	// Post-recovery creates continue the ID sequence.
 	p, err := d2.Create("next", mkVersion("Next", "v"))

@@ -13,17 +13,21 @@ import (
 	"github.com/privacy-quagmire/quagmire/internal/cache"
 )
 
-// snapshotKey is the cache.Store key the compacted state lives under.
+// snapshotKey is the cache.Store key the legacy v1 snapshot lives under.
+// v1 snapshots are still read on open; compaction always writes the
+// indexed v2 format (snapshot.v2) and deletes the legacy file.
 const snapshotKey = "store-snapshot"
 
-// snapshotCodec versions the snapshot schema so future layouts can
-// migrate old files instead of misreading them.
+// snapshotCodec is the legacy monolithic-JSON snapshot schema version.
 const snapshotCodec = 1
 
 // defaultSnapshotThreshold compacts the WAL once it exceeds 4 MiB.
 const defaultSnapshotThreshold = 4 << 20
 
-// snapshotState is the serialized form of the whole store.
+// snapshotState is the serialized form of a legacy v1 snapshot: the whole
+// store as one JSON document, payloads inline. Retained so old data
+// directories still open (they are rewritten as v2 on the next
+// compaction).
 type snapshotState struct {
 	Codec int `json:"codec"`
 	// Seq is the WAL sequence number the snapshot was taken at; replay
@@ -59,8 +63,15 @@ type Disk struct {
 	walBytes int64
 	// seq is the sequence number of the last durable WAL record (or the
 	// snapshot watermark right after recovery/compaction).
-	seq    uint64
-	closed bool
+	seq uint64
+	// snapFile is the open v2 snapshot lazy payload loads ReadAt from;
+	// nil when the store was booted fresh or from a legacy v1 snapshot
+	// (whose payloads are held inline until the next compaction).
+	snapFile *snapshotFile
+	// snapSeq is the watermark of the on-disk snapshot: records at or
+	// below it are compacted away and unavailable to ReplayFrom.
+	snapSeq uint64
+	closed  bool
 	// lastErr is the most recent WAL write failure; it degrades Health
 	// until a subsequent write succeeds.
 	lastErr error
@@ -100,22 +111,33 @@ func OpenDisk(dir string, opts Options) (*Disk, error) {
 	return d, nil
 }
 
-// recover loads the snapshot and replays the WAL into the core.
+// recover loads the snapshot (indexed v2 preferred, legacy v1 fallback)
+// and replays the WAL into the core. The v2 path installs metadata only —
+// payload bytes stay on disk behind refs until LoadPayload asks for them,
+// so boot cost is O(index), not O(corpus).
 func (d *Disk) recover() error {
-	var st snapshotState
-	switch err := d.snap.Load(snapshotKey, &st); {
+	sf, err := openSnapshotV2(filepath.Join(d.dir, snapshotV2Name))
+	switch {
 	case err == nil:
-		if st.Codec > snapshotCodec {
-			return fmt.Errorf("store: snapshot codec %d is newer than supported %d", st.Codec, snapshotCodec)
+		for i := range sf.idx.Policies {
+			sp := &sf.idx.Policies[i]
+			ps := &policyState{Meta: sp.Meta, Versions: make([]Version, len(sp.Versions))}
+			for j, sv := range sp.Versions {
+				ps.Versions[j] = Version{
+					VersionMeta: sv.VersionMeta,
+					ref:         &payloadRef{off: sv.Off, n: sv.Len, crc: sv.CRC},
+				}
+			}
+			d.c.policies[sp.Meta.ID] = ps
 		}
-		for i := range st.Policies {
-			ps := st.Policies[i]
-			d.c.policies[ps.Meta.ID] = &ps
+		d.c.nextID = sf.hdr.NextID
+		d.seq = sf.hdr.Seq
+		d.snapSeq = sf.hdr.Seq
+		d.snapFile = sf
+	case errors.Is(err, fs.ErrNotExist):
+		if err := d.recoverLegacyV1(); err != nil {
+			return err
 		}
-		d.c.nextID = st.NextID
-		d.seq = st.Seq
-	case errors.Is(err, cache.ErrNotFound):
-		// Fresh store.
 	default:
 		return err
 	}
@@ -157,6 +179,30 @@ func (d *Disk) recover() error {
 		if err := truncateWAL(d.walPath, offset); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// recoverLegacyV1 loads a legacy monolithic v1 snapshot, payloads inline
+// (eager). The next compaction rewrites it in the indexed v2 format.
+func (d *Disk) recoverLegacyV1() error {
+	var st snapshotState
+	switch err := d.snap.Load(snapshotKey, &st); {
+	case err == nil:
+		if st.Codec > snapshotCodec {
+			return fmt.Errorf("store: snapshot codec %d is newer than supported %d", st.Codec, snapshotCodec)
+		}
+		for i := range st.Policies {
+			ps := st.Policies[i]
+			d.c.policies[ps.Meta.ID] = &ps
+		}
+		d.c.nextID = st.NextID
+		d.seq = st.Seq
+		d.snapSeq = st.Seq
+	case errors.Is(err, cache.ErrNotFound):
+		// Fresh store.
+	default:
+		return err
 	}
 	return nil
 }
@@ -268,32 +314,52 @@ func (d *Disk) maybeCompact() {
 	}
 }
 
-// snapshotLocked captures the serialized form of the current state,
-// stamped with the current WAL sequence. The caller holds d.mu.
-func (d *Disk) snapshotLocked() snapshotState {
-	st := snapshotState{Codec: snapshotCodec, Seq: d.seq, NextID: d.c.nextID}
-	for _, id := range sortedIDs(d.c.policies) {
-		st.Policies = append(st.Policies, *d.c.policies[id])
-	}
-	return st
-}
-
-// compactLocked writes the snapshot atomically (fsynced, so it survives a
-// host crash before the WAL it replaces is gone) and truncates the WAL.
-// The snapshot carries the WAL sequence watermark, so a crash between the
-// two steps is safe: recovery skips the already-snapshotted records.
-// The caller holds d.mu.
+// compactLocked writes an indexed v2 snapshot atomically (fsynced, so it
+// survives a host crash before the WAL it replaces is gone), re-points
+// every in-memory version at the new file — dropping inline payload bytes
+// held since WAL replay or live appends — and truncates the WAL. The
+// snapshot carries the WAL sequence watermark, so a crash between the two
+// steps is safe: recovery skips the already-snapshotted records. The
+// caller holds d.mu.
 func (d *Disk) compactLocked() error {
 	defer d.opts.observe("snapshot", time.Now())
-	if err := d.snap.Save(snapshotKey, d.snapshotLocked()); err != nil {
+	if d.walBytes == 0 && d.snapFile != nil && d.snapSeq == d.seq {
+		// The on-disk snapshot already matches the in-memory state (every
+		// mutation bumps seq); rewriting it would be pure churn.
+		return nil
+	}
+	hdr := snapHeader{Codec: snapshotCodecV2, Seq: d.seq, NextID: d.c.nextID}
+	states := d.sortedStatesLocked()
+	sf, idx, err := saveSnapshotV2(d.dir, hdr, states, d.loadPayloadLocked)
+	if err != nil {
 		return err
 	}
+	// Re-point every version at its section in the new file, then swap the
+	// handles. Readers cannot race this: LoadPayload resolves refs under
+	// the same lock compaction holds exclusively.
+	for pi, st := range states {
+		for vi := range st.Versions {
+			sv := idx.Policies[pi].Versions[vi]
+			st.Versions[vi].Payload = nil
+			st.Versions[vi].ref = &payloadRef{off: sv.Off, n: sv.Len, crc: sv.CRC}
+		}
+	}
+	if d.snapFile != nil {
+		d.snapFile.Close()
+	}
+	d.snapFile = sf
+	d.snapSeq = d.seq
 	// The WAL is opened O_APPEND, so after the truncate the next write
 	// lands at offset zero without an explicit seek.
 	if err := d.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: reset wal after snapshot: %w", err)
 	}
 	d.walBytes = 0
+	// A legacy v1 snapshot is now stale; drop it (best effort) so future
+	// opens never prefer outdated state and the disk holds one copy.
+	if err := d.snap.Delete(snapshotKey); err != nil {
+		d.opts.logf("store: remove legacy snapshot: %v", err)
+	}
 	d.opts.Obs.Counter("quagmire_store_snapshots_total").Inc()
 	return nil
 }
@@ -440,12 +506,34 @@ func (d *Disk) Versions(id string) ([]VersionMeta, error) {
 	return d.c.versions(id)
 }
 
-// Version implements PolicyStore.
+// Version implements PolicyStore: metadata only, Payload nil.
 func (d *Disk) Version(id string, n int) (Version, error) {
 	defer d.opts.observe("version", time.Now())
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.c.version(id, n)
+	v, err := d.c.version(id, n)
+	v.Payload, v.ref = nil, nil
+	return v, err
+}
+
+// LoadPayload implements PolicyStore. Versions still WAL-resident (or
+// legacy v1, eagerly loaded) are served from memory; snapshotted versions
+// are read out of the indexed v2 file and CRC-verified — which is where
+// payload corruption surfaces, at first use rather than at open.
+func (d *Disk) LoadPayload(id string, n int) ([]byte, error) {
+	defer d.opts.observe("load_payload", time.Now())
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, err := d.c.version(id, n)
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.loadPayloadLocked(id, &v)
+	if err != nil {
+		d.opts.Obs.Counter("quagmire_store_payload_load_failures_total").Inc()
+		return nil, fmt.Errorf("store: load payload %s/v%d: %w", id, n, err)
+	}
+	return b, nil
 }
 
 // Health implements PolicyStore: counts plus a live disk-writability
@@ -495,5 +583,10 @@ func (d *Disk) Close() error {
 	d.closed = true
 	snapErr := d.compactLocked()
 	closeErr := d.wal.Close()
-	return errors.Join(snapErr, closeErr)
+	var sfErr error
+	if d.snapFile != nil {
+		sfErr = d.snapFile.Close()
+		d.snapFile = nil
+	}
+	return errors.Join(snapErr, closeErr, sfErr)
 }

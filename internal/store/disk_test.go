@@ -44,11 +44,11 @@ func dumpState(t *testing.T, s PolicyStore) string {
 		}
 		out["versions:"+p.ID] = vs
 		for _, vm := range vs {
-			v, err := s.Version(p.ID, vm.N)
+			payload, err := s.LoadPayload(p.ID, vm.N)
 			if err != nil {
 				t.Fatal(err)
 			}
-			out[fmt.Sprintf("payload:%s:%d", p.ID, vm.N)] = string(v.Payload)
+			out[fmt.Sprintf("payload:%s:%d", p.ID, vm.N)] = string(payload)
 		}
 	}
 	data, err := json.MarshalIndent(out, "", " ")
@@ -108,7 +108,7 @@ func TestCleanShutdownSnapshotsAndEmptiesWAL(t *testing.T) {
 	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
 		t.Errorf("wal after close: %v (size %d), want empty", err, fi.Size())
 	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotKey+".json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, snapshotV2Name)); err != nil {
 		t.Errorf("snapshot missing: %v", err)
 	}
 	d2 := reopen(t, dir, Options{})
@@ -195,7 +195,7 @@ func TestSnapshotCompactionThreshold(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotKey+".json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, snapshotV2Name)); err != nil {
 		t.Fatalf("no snapshot despite threshold: %v", err)
 	}
 	d.mu.RLock()
@@ -288,11 +288,13 @@ func TestInterruptedCompactionRecovery(t *testing.T) {
 	// Simulate the interrupted compaction: snapshot saved, WAL untouched,
 	// process dies (no Close).
 	d.mu.Lock()
-	saveErr := d.snap.Save(snapshotKey, d.snapshotLocked())
+	hdr := snapHeader{Codec: snapshotCodecV2, Seq: d.seq, NextID: d.c.nextID}
+	sf, _, saveErr := saveSnapshotV2(d.dir, hdr, d.sortedStatesLocked(), d.loadPayloadLocked)
 	d.mu.Unlock()
 	if saveErr != nil {
 		t.Fatal(saveErr)
 	}
+	sf.Close()
 	var logBuf bytes.Buffer
 	d2, err := OpenDisk(dir, Options{Logger: log.New(&logBuf, "", 0)})
 	if err != nil {

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestInspectWALOnly: a directory that has never compacted (process
+// abandoned before Close) has no snapshot; inspection reconstructs the
+// policy census from the WAL alone.
+func TestInspectWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{SnapshotThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a.txt", "b.txt"} {
+		if _, err := d.Create(name, mkVersion("Acme", "payload-"+name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Append("p1", 1, mkVersion("Acme", "payload-a2")); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close: the WAL is the only durable state.
+
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotCodec != 0 {
+		t.Errorf("codec = %d, want 0 (no snapshot)", info.SnapshotCodec)
+	}
+	if info.WALRecords != 3 || info.WALSeq != 3 {
+		t.Errorf("wal records/seq = %d/%d, want 3/3", info.WALRecords, info.WALSeq)
+	}
+	if info.WALCorrupt != "" {
+		t.Errorf("unexpected corrupt tail: %q", info.WALCorrupt)
+	}
+	if len(info.Policies) != 2 {
+		t.Fatalf("policies = %d, want 2", len(info.Policies))
+	}
+	if info.Policies[0].ID != "p1" || info.Policies[0].Versions != 2 {
+		t.Errorf("p1 = %+v, want 2 versions", info.Policies[0])
+	}
+	if info.Policies[1].ID != "p2" || info.Policies[1].Versions != 1 {
+		t.Errorf("p2 = %+v, want 1 version", info.Policies[1])
+	}
+}
+
+// TestInspectCorruptTailIsReadOnly: inspection reports a torn WAL tail
+// but never truncates it — that is recovery's job on the next open.
+func TestInspectCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{SnapshotThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("a.txt", mkVersion("Acme", "payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore := fileSize(t, walPath)
+
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.WALCorrupt == "" {
+		t.Error("corrupt tail not reported")
+	}
+	if info.WALRecords != 1 {
+		t.Errorf("wal records = %d, want 1 intact record", info.WALRecords)
+	}
+	if len(info.Policies) != 1 {
+		t.Errorf("policies = %d, want 1", len(info.Policies))
+	}
+	if got := fileSize(t, walPath); got != sizeBefore {
+		t.Errorf("inspection changed the WAL: %d -> %d bytes", sizeBefore, got)
+	}
+}
+
+// TestInspectV2RoundTrip: a cleanly closed store inspects as codec 2 and
+// the report survives a JSON round trip (the -json CLI path).
+func TestInspectV2(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("a.txt", mkVersion("Acme", "payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotCodec != snapshotCodecV2 {
+		t.Errorf("codec = %d, want %d", info.SnapshotCodec, snapshotCodecV2)
+	}
+	if info.SnapshotSeq != 1 || info.SnapshotBytes == 0 {
+		t.Errorf("snapshot seq/bytes = %d/%d", info.SnapshotSeq, info.SnapshotBytes)
+	}
+	b, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Info
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SnapshotCodec != info.SnapshotCodec || len(back.Policies) != len(info.Policies) {
+		t.Errorf("JSON round trip lost fields: %+v", back)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -228,12 +228,27 @@ func (m *Mem) Versions(id string) ([]VersionMeta, error) {
 	return m.c.versions(id)
 }
 
-// Version implements PolicyStore.
+// Version implements PolicyStore: metadata only, Payload nil.
 func (m *Mem) Version(id string, n int) (Version, error) {
 	defer m.opts.observe("version", time.Now())
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.c.version(id, n)
+	v, err := m.c.version(id, n)
+	v.Payload, v.ref = nil, nil
+	return v, err
+}
+
+// LoadPayload implements PolicyStore: the memory backend always holds
+// payloads inline.
+func (m *Mem) LoadPayload(id string, n int) ([]byte, error) {
+	defer m.opts.observe("load_payload", time.Now())
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, err := m.c.version(id, n)
+	if err != nil {
+		return nil, err
+	}
+	return v.Payload, nil
 }
 
 // Health implements PolicyStore.

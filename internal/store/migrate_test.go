@@ -1,0 +1,167 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/cache"
+)
+
+// writeLegacyV1Dir fabricates a pre-PR9 data directory: one monolithic
+// JSON snapshot with payloads inline (codec 1) and no WAL — exactly what
+// an old build's clean Close left behind. pad appends that many filler
+// bytes to each payload (benchmarks use it to model real analysis
+// envelopes; tests pass 0). Returns the per-policy payloads for later
+// verification.
+func writeLegacyV1Dir(tb testing.TB, dir string, policies, versionsPer, pad int) map[string][]string {
+	tb.Helper()
+	created := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	st := snapshotState{Codec: snapshotCodec, NextID: policies + 1}
+	payloads := map[string][]string{}
+	for i := 1; i <= policies; i++ {
+		id := fmt.Sprintf("p%d", i)
+		ps := policyState{Meta: Policy{
+			ID: id, Name: fmt.Sprintf("legacy-%d.txt", i), Company: fmt.Sprintf("LegacyCo%d", i),
+			Created: created, Updated: created, Versions: versionsPer,
+		}}
+		for n := 1; n <= versionsPer; n++ {
+			payload := fmt.Sprintf(`{"codec":1,"legacy":true,"policy":%d,"version":%d}`, i, n) + strings.Repeat("x", pad)
+			payloads[id] = append(payloads[id], payload)
+			ps.Versions = append(ps.Versions, Version{
+				VersionMeta: VersionMeta{
+					N: n, Created: created, Company: ps.Meta.Company,
+					Bytes: len(payload),
+				},
+				Payload: []byte(payload),
+			})
+			st.Seq++
+		}
+		st.Policies = append(st.Policies, ps)
+	}
+	snap, err := cache.Open(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := snap.Save(snapshotKey, st); err != nil {
+		tb.Fatal(err)
+	}
+	return payloads
+}
+
+// TestV1ToV2MigrationDifferential is the differential restart test for
+// the snapshot format migration: a legacy v1 directory opens read-only-
+// upgraded, compaction rewrites it as v2, and every observable — policy
+// list, version metadata, payload bytes — is identical before and after,
+// across a clean Close and across a SIGKILL-style abandonment mid-way.
+func TestV1ToV2MigrationDifferential(t *testing.T) {
+	dir := t.TempDir()
+	writeLegacyV1Dir(t, dir, 5, 2, 0)
+
+	d1, err := OpenDisk(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dumpState(t, d1)
+
+	// SIGKILL abandonment: mutate on top of the v1 snapshot, then abandon
+	// without Close. The append lives only in the WAL; the v1 snapshot is
+	// still the on-disk base.
+	if _, err := d1.Append("p3", 2, mkVersion("LegacyCo3", "post-migration-v3")); err != nil {
+		t.Fatal(err)
+	}
+	afterAppend := dumpState(t, d1)
+	if afterAppend == before {
+		t.Fatal("append did not change observable state")
+	}
+
+	d2 := reopen(t, dir, Options{})
+	if got := dumpState(t, d2); got != afterAppend {
+		t.Errorf("state after v1+WAL recovery differs:\n%s\nwant:\n%s", got, afterAppend)
+	}
+	// Clean Close compacts: the directory is rewritten as an indexed v2
+	// snapshot and the legacy file is gone.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotV2Name)); err != nil {
+		t.Fatalf("v2 snapshot missing after migration compaction: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotKey+".json")); !os.IsNotExist(err) {
+		t.Errorf("legacy v1 snapshot still present after compaction (err=%v)", err)
+	}
+
+	d3 := reopen(t, dir, Options{})
+	if got := dumpState(t, d3); got != afterAppend {
+		t.Errorf("state after v2 reopen differs:\n%s\nwant:\n%s", got, afterAppend)
+	}
+
+	// The migrated directory reports as v2 under inspection, with the full
+	// policy census intact.
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotCodec != snapshotCodecV2 {
+		t.Errorf("inspect codec = %d, want %d", info.SnapshotCodec, snapshotCodecV2)
+	}
+	if len(info.Policies) != 5 {
+		t.Errorf("inspect found %d policies, want 5", len(info.Policies))
+	}
+	for _, p := range info.Policies {
+		want := 2
+		if p.ID == "p3" {
+			want = 3
+		}
+		if p.Versions != want {
+			t.Errorf("inspect %s versions = %d, want %d", p.ID, p.Versions, want)
+		}
+		if p.PayloadBytes == 0 {
+			t.Errorf("inspect %s payload bytes = 0", p.ID)
+		}
+	}
+}
+
+// TestV1PayloadsReadableBeforeCompaction: a v1-recovered store serves
+// payloads correctly through LoadPayload before any compaction ran —
+// the inline bytes are authoritative until the first v2 rewrite.
+func TestV1PayloadsReadableBeforeCompaction(t *testing.T) {
+	dir := t.TempDir()
+	payloads := writeLegacyV1Dir(t, dir, 3, 2, 0)
+
+	d, err := OpenDisk(dir, Options{SnapshotThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, versions := range payloads {
+		for i, want := range versions {
+			got, err := d.LoadPayload(id, i+1)
+			if err != nil {
+				t.Fatalf("LoadPayload(%s, %d): %v", id, i+1, err)
+			}
+			if string(got) != want {
+				t.Errorf("LoadPayload(%s, %d) = %q, want %q", id, i+1, got, want)
+			}
+			// Version() stays lazy even for inline v1 payloads.
+			v, err := d.Version(id, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Payload != nil {
+				t.Errorf("Version(%s, %d) returned a payload; want nil (lazy)", id, i+1)
+			}
+		}
+	}
+	// Inspection of the untouched v1 directory reports codec 1.
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotCodec != snapshotCodec {
+		t.Errorf("inspect codec = %d, want %d (legacy)", info.SnapshotCodec, snapshotCodec)
+	}
+	d.Close()
+}

@@ -1,0 +1,125 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// Replication hooks: the v2 snapshot plus the seq-watermarked WAL tail
+// together form a state-shipping primitive. A follower bootstraps from
+// SnapshotTo (an indexed snapshot it can open directly), then catches up
+// and stays current by polling ReplayFrom with its last-applied sequence
+// number. ErrCompacted tells a follower it fell behind the primary's
+// compaction horizon and must re-bootstrap from a fresh snapshot.
+
+// ErrCompacted reports that the requested replay window starts below the
+// snapshot watermark: those records were compacted away, and the caller
+// must bootstrap from a snapshot instead.
+var ErrCompacted = errors.New("store: records compacted away")
+
+// Record is one seq-numbered store mutation — the unit of both WAL
+// framing and replication shipping.
+type Record struct {
+	// Seq is the mutation's store-wide sequence number, strictly
+	// increasing across compactions. The snapshot records the sequence it
+	// was taken at, so replay can skip records the snapshot already
+	// contains — which is what makes an interrupted compaction (snapshot
+	// saved, WAL not yet truncated) recoverable instead of a replay of
+	// duplicate creates and appends.
+	Seq uint64 `json:"seq"`
+	// Op is "create" or "append".
+	Op string `json:"op"`
+	// ID is the policy the mutation applies to (the assigned ID for
+	// creates, so replay reproduces it exactly).
+	ID string `json:"id"`
+	// Name is the policy name (creates only).
+	Name string `json:"name,omitempty"`
+	// Version is the stored version, timestamps and payload included.
+	Version Version `json:"version"`
+}
+
+// SnapshotTo streams an indexed v2 snapshot of the store's current state
+// to w and returns the sequence watermark it was taken at. The stream is
+// byte-compatible with the on-disk snapshot.v2 file, so a follower can
+// write it to its own data directory and OpenDisk from it. Concurrent
+// reads proceed; writes block for the duration.
+func (d *Disk) SnapshotTo(w io.Writer) (uint64, error) {
+	defer d.opts.observe("snapshot_to", time.Now())
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	hdr := snapHeader{Codec: snapshotCodecV2, Seq: d.seq, NextID: d.c.nextID}
+	if _, err := writeSnapshotV2(w, hdr, d.sortedStatesLocked(), d.loadPayloadLocked); err != nil {
+		return 0, err
+	}
+	return d.seq, nil
+}
+
+// ReplayFrom invokes fn for every durable WAL record with sequence number
+// strictly greater than seq, in order. It returns ErrCompacted when seq
+// predates the snapshot watermark — the records are gone and the caller
+// must bootstrap via SnapshotTo. A fn error aborts the replay.
+func (d *Disk) ReplayFrom(seq uint64, fn func(Record) error) error {
+	defer d.opts.observe("replay_from", time.Now())
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if seq < d.snapSeq {
+		return fmt.Errorf("%w: requested replay from seq %d, snapshot watermark is %d", ErrCompacted, seq, d.snapSeq)
+	}
+	f, err := os.Open(d.walPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	// Limit the read to the durable boundary: bytes past d.walBytes are a
+	// rolled-back or torn tail and were never acknowledged.
+	_, _, corrupt, err := replayWAL(io.LimitReader(f, d.walBytes), func(op Record) error {
+		if op.Seq <= seq {
+			return nil
+		}
+		return fn(op)
+	})
+	if err != nil {
+		return err
+	}
+	if corrupt != nil {
+		return fmt.Errorf("store: wal corrupt inside durable boundary: %w", corrupt)
+	}
+	return nil
+}
+
+// sortedStatesLocked returns the policy states in canonical ID order.
+// The caller holds d.mu (read or write).
+func (d *Disk) sortedStatesLocked() []*policyState {
+	ids := sortedIDs(d.c.policies)
+	out := make([]*policyState, len(ids))
+	for i, id := range ids {
+		out[i] = d.c.policies[id]
+	}
+	return out
+}
+
+// loadPayloadLocked materializes one version's payload bytes: inline for
+// WAL-resident versions, a CRC-verified snapshot read for ref'd ones.
+// The caller holds d.mu (read or write).
+func (d *Disk) loadPayloadLocked(id string, v *Version) ([]byte, error) {
+	if v.Payload != nil || v.ref == nil {
+		return v.Payload, nil
+	}
+	if d.snapFile == nil {
+		return nil, fmt.Errorf("store: payload %s/v%d referenced but no snapshot open", id, v.N)
+	}
+	return d.snapFile.load(*v.ref)
+}

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// BenchmarkSnapshotOpen measures OpenDisk against the two snapshot
+// formats at equal logical content:
+//
+//	v1  legacy monolithic JSON snapshot — recovery decodes every payload
+//	    (base64 inside JSON) before the store is usable
+//	v2  indexed snapshot — recovery reads the header and metadata index;
+//	    payloads stay on disk behind LoadPayload
+//
+// The v2 dir is produced by migrating the v1 fixture (open + Close), so
+// both formats hold byte-identical policies. Payloads carry 2KiB of
+// filler to model real analysis envelopes. E17 in EXPERIMENTS.md runs
+// this sweep at 100/1k; sizes are overridable for larger runs with e.g.
+// QUAGMIRE_SNAPSHOT_BENCH_SIZES=100,1000,10000.
+
+const snapshotBenchPayloadPad = 2048
+
+func snapshotBenchSizes(b *testing.B) []int {
+	env := os.Getenv("QUAGMIRE_SNAPSHOT_BENCH_SIZES")
+	if env == "" {
+		return []int{100, 1000}
+	}
+	var sizes []int
+	for _, s := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			b.Fatalf("bad QUAGMIRE_SNAPSHOT_BENCH_SIZES entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+func BenchmarkSnapshotOpen(b *testing.B) {
+	for _, n := range snapshotBenchSizes(b) {
+		// v1: each open replays the legacy snapshot. Opening a v1 dir
+		// upgrades it on Close, so the pristine legacy file is restored
+		// between iterations (off the clock).
+		b.Run(fmt.Sprintf("v1/policies-%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			writeLegacyV1Dir(b, dir, n, 1, snapshotBenchPayloadPad)
+			legacyPath := filepath.Join(dir, snapshotKey+".json")
+			legacy, err := os.ReadFile(legacyPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := OpenDisk(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+				os.Remove(filepath.Join(dir, snapshotV2Name))
+				os.Remove(filepath.Join(dir, "wal.log"))
+				if err := os.WriteFile(legacyPath, legacy, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+
+		b.Run(fmt.Sprintf("v2/policies-%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			writeLegacyV1Dir(b, dir, n, 1, snapshotBenchPayloadPad)
+			d, err := OpenDisk(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Close(); err != nil { // migrates to v2
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := OpenDisk(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				// Nothing changed, so Close skips compaction; the v2
+				// snapshot is reused as-is by the next iteration.
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -67,14 +67,29 @@ type VersionMeta struct {
 	Diff  DiffStats    `json:"diff"`
 	// Bytes is the encoded payload size.
 	Bytes int `json:"bytes"`
+	// SourceHash is the hex SHA-256 of the raw source document this
+	// version was analyzed from (set by the ingest pipeline); empty for
+	// versions stored through other paths. Incremental re-ingest compares
+	// it to decide whether a file changed since the last crawl.
+	SourceHash string `json:"source_hash,omitempty"`
 }
 
 // Version is a full stored version: metadata plus the encoded analysis
 // payload. The payload is opaque to the store — the core package's codec
 // owns its format (and its schema versioning).
+//
+// Payload is populated only on the write path (Create/Append/AppendBatch
+// and WAL records). On the read path the store keeps payloads lazily
+// materialized: Version(id, n) returns metadata with a nil Payload, and
+// LoadPayload(id, n) is the sole payload accessor — on the disk backend it
+// reads the bytes straight out of the indexed snapshot on first use.
 type Version struct {
 	VersionMeta
 	Payload []byte `json:"payload"`
+	// ref locates the payload inside the open v2 snapshot when the bytes
+	// are not held inline; nil means Payload is authoritative. Unexported,
+	// so it never leaks into WAL records or snapshot JSON.
+	ref *payloadRef
 }
 
 // Policy is the policy-level metadata snapshot.
@@ -139,8 +154,15 @@ type PolicyStore interface {
 	List() ([]Policy, error)
 	// Versions returns the policy's version metadata in order.
 	Versions(id string) ([]VersionMeta, error)
-	// Version returns one stored version (1-based).
+	// Version returns one stored version's metadata (1-based). The
+	// returned Payload is always nil; use LoadPayload for the bytes.
 	Version(id string, n int) (Version, error)
+	// LoadPayload materializes the encoded payload of version n of policy
+	// id. The memory backend returns its in-process copy; the disk backend
+	// reads the section out of the indexed snapshot (CRC-verified) unless
+	// the version is still WAL-resident. Callers must not mutate the
+	// returned slice.
+	LoadPayload(id string, n int) ([]byte, error)
 	// Health reports backend state.
 	Health() Health
 	// Close releases resources; the disk backend snapshots first so the

@@ -137,14 +137,24 @@ func TestVersionHistoryRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if string(got.Payload) != "payload-1" {
-				t.Errorf("payload = %q", got.Payload)
+			if got.Payload != nil {
+				t.Errorf("Version payload = %q, want nil (lazy)", got.Payload)
+			}
+			payload, err := s.LoadPayload(p.ID, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(payload) != "payload-1" {
+				t.Errorf("payload = %q", payload)
 			}
 			if _, err := s.Version(p.ID, 3); !errors.Is(err, ErrNotFound) {
 				t.Errorf("missing version err = %v", err)
 			}
 			if _, err := s.Version(p.ID, 0); !errors.Is(err, ErrNotFound) {
 				t.Errorf("version 0 err = %v", err)
+			}
+			if _, err := s.LoadPayload(p.ID, 3); !errors.Is(err, ErrNotFound) {
+				t.Errorf("missing payload err = %v", err)
 			}
 		})
 	}
@@ -199,12 +209,12 @@ func TestSameCompanyPoliciesDoNotClobber(t *testing.T) {
 			if _, err := s.Append(b.ID, 1, mkVersion("Acme-Inc", "payload-B2")); err != nil {
 				t.Fatal(err)
 			}
-			va, err := s.Version(a.ID, 1)
+			va, err := s.LoadPayload(a.ID, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if string(va.Payload) != "payload-A" {
-				t.Errorf("policy A payload clobbered: %q", va.Payload)
+			if string(va) != "payload-A" {
+				t.Errorf("policy A payload clobbered: %q", va)
 			}
 			if ma, _ := s.Get(a.ID); ma.Versions != 1 {
 				t.Errorf("policy A versions = %d, want 1", ma.Versions)

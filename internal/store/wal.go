@@ -24,25 +24,9 @@ const maxWALRecord = 64 << 20
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// walOp is one logged mutation.
-type walOp struct {
-	// Seq is the mutation's store-wide sequence number, strictly
-	// increasing across compactions. The snapshot records the sequence it
-	// was taken at, so replay can skip records the snapshot already
-	// contains — which is what makes an interrupted compaction (snapshot
-	// saved, WAL not yet truncated) recoverable instead of a replay of
-	// duplicate creates and appends.
-	Seq uint64 `json:"seq"`
-	// Op is "create" or "append".
-	Op string `json:"op"`
-	// ID is the policy the mutation applies to (the assigned ID for
-	// creates, so replay reproduces it exactly).
-	ID string `json:"id"`
-	// Name is the policy name (creates only).
-	Name string `json:"name,omitempty"`
-	// Version is the stored version, timestamps included.
-	Version Version `json:"version"`
-}
+// walOp is one logged mutation — the exported Record type (replicate.go),
+// which doubles as the replication shipping unit.
+type walOp = Record
 
 // appendWALRecord frames and writes one record to w.
 func appendWALRecord(w io.Writer, op walOp) (int, error) {
