@@ -50,6 +50,7 @@ func main() {
 	flag.IntVar(&cfg.solveQueue, "solve-queue", 0, "self-host only: solver admission queue bound (0 = default)")
 	flag.DurationVar(&cfg.queueWait, "queue-wait", 0, "self-host only: longest queue wait before a 429 (0 = default)")
 	flag.BoolVar(&cfg.noCache, "no-cache", false, "self-host only: disable the SMT result cache so every solve pays full price")
+	flag.StringVar(&cfg.replicas, "replica", "", "comma-separated follower base URLs; reads, corpus sweeps and solver queries round-robin across them while writes still hit -url (the primary)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "loadgen ", log.LstdFlags)
@@ -71,6 +72,7 @@ type config struct {
 	solveQueue     int
 	queueWait      time.Duration
 	noCache        bool
+	replicas       string
 }
 
 // classStats aggregates one request class (read or solve).
@@ -150,16 +152,28 @@ func run(cfg config, logger *log.Logger) (report, error) {
 	}
 	base = strings.TrimRight(base, "/")
 
+	// Writes (seeding) always target the primary; read-shaped traffic
+	// round-robins across the follower fleet when -replica is given —
+	// the deployment shape replication exists for.
+	readBases := []string{base}
+	if cfg.replicas != "" {
+		readBases = readBases[:0]
+		for _, r := range strings.Split(cfg.replicas, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				readBases = append(readBases, strings.TrimRight(r, "/"))
+			}
+		}
+		if len(readBases) == 0 {
+			return report{}, fmt.Errorf("-replica given but no usable URLs in %q", cfg.replicas)
+		}
+	}
+
 	id, err := seedPolicy(base)
 	if err != nil {
 		return report{}, fmt.Errorf("seed policy: %w", err)
 	}
 
-	readURL := base + "/v1/policies/" + id
-	solveURL := base + "/v1/policies/" + id + "/query"
 	solveBody := `{"question":"Does Acme share my email address with advertising partners?"}`
-	statsURL := base + "/v1/corpus/stats"
-	corpusQueryURL := base + "/v1/corpus/query"
 	corpusBody := `{"query":"Does Acme share my email address with advertising partners?"}`
 	readSlots := int(cfg.readFraction*10 + 0.5) // of every 10 requests
 	corpusSlots := int(cfg.corpusFraction*10 + 0.5)
@@ -170,6 +184,14 @@ func run(cfg config, logger *log.Logger) (report, error) {
 		// Corpus sweeps over a one-policy store measure nothing; widen it.
 		if err := seedCorpusPolicies(base, cfg.corpusPolicies); err != nil {
 			return report{}, fmt.Errorf("seed corpus: %w", err)
+		}
+	}
+	if cfg.replicas != "" {
+		// Replication is async: give every follower a chance to apply the
+		// seeds before offering load, or the warm-up 404s pollute the error
+		// counts.
+		if err := waitForReplicas(readBases, id, logger); err != nil {
+			return report{}, err
 		}
 	}
 
@@ -192,22 +214,23 @@ func run(cfg config, logger *log.Logger) (report, error) {
 					resp  *http.Response
 					err   error
 				)
+				target := readBases[(w+i)%len(readBases)]
 				switch slot := i % 10; {
 				case slot < readSlots:
 					cs = read
-					resp, err = client.Get(readURL)
+					resp, err = client.Get(target + "/v1/policies/" + id)
 				case slot < readSlots+corpusSlots:
 					// Alternate the aggregate read and the fan-out query so
 					// both corpus endpoints see load.
 					cs = corp
 					if i%2 == 0 {
-						resp, err = client.Get(statsURL)
+						resp, err = client.Get(target + "/v1/corpus/stats")
 					} else {
-						resp, err = client.Post(corpusQueryURL, "application/json", strings.NewReader(corpusBody))
+						resp, err = client.Post(target+"/v1/corpus/query", "application/json", strings.NewReader(corpusBody))
 					}
 				default:
 					cs = solve
-					resp, err = client.Post(solveURL, "application/json", strings.NewReader(solveBody))
+					resp, err = client.Post(target+"/v1/policies/"+id+"/query", "application/json", strings.NewReader(solveBody))
 				}
 				if err != nil {
 					cs.Errors++
@@ -278,6 +301,30 @@ func selfHost(cfg config, logger *log.Logger) (stop func(), url string, err erro
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = httpSrv.Serve(ln) }()
 	return func() { _ = httpSrv.Close() }, "http://" + ln.Addr().String(), nil
+}
+
+// waitForReplicas polls each read target until it serves the seeded
+// policy (followers apply the primary's writes asynchronously).
+func waitForReplicas(bases []string, id string, logger *log.Logger) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for _, b := range bases {
+		url := b + "/v1/policies/" + id
+		for {
+			resp, err := http.Get(url)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica %s never served seeded policy %s", b, id)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		logger.Printf("replica %s caught up on seed policy", b)
+	}
+	return nil
 }
 
 // seedCorpusPolicies registers n extra generated policies so corpus

@@ -9,6 +9,7 @@
 //	          [-solve-queue N] [-queue-wait D] [-drain-timeout D]
 //	          [-lazy-recovery=BOOL] [-warm-workers N]
 //	          [-corpus-workers N] [-corpus-policy-timeout D]
+//	          [-follow URL]
 //
 // With -data the policy store is durable: every policy version is logged
 // to DIR's write-ahead log before it is acknowledged, a restart recovers
@@ -23,6 +24,14 @@
 // quarantines that one policy (served as 503, listed with a marker,
 // /healthz degraded) instead of refusing boot. -lazy-recovery=false
 // restores the eager rebuild-everything-before-serving behavior.
+//
+// With -follow the process is a read replica: it bootstraps its -data
+// directory from the primary's snapshot stream, tails the primary's WAL
+// stream to stay current, serves the entire read surface off the
+// replicated store (lazy recovery and quarantine included), and rejects
+// writes with 403 plus an X-Quagmire-Primary pointer. /healthz gains a
+// replica section with lag and connection state. Replication is
+// asynchronous — read-your-writes holds only on the primary.
 //
 // With -preload the bundled TikTak and MetaBook corpora are analyzed and
 // registered at startup, so the API is immediately explorable:
@@ -47,6 +56,7 @@ import (
 
 	"github.com/privacy-quagmire/quagmire/internal/core"
 	"github.com/privacy-quagmire/quagmire/internal/corpus"
+	"github.com/privacy-quagmire/quagmire/internal/replica"
 	"github.com/privacy-quagmire/quagmire/internal/server"
 	"github.com/privacy-quagmire/quagmire/internal/smt"
 	"github.com/privacy-quagmire/quagmire/internal/store"
@@ -68,6 +78,7 @@ func main() {
 	flag.IntVar(&cfg.warmWorkers, "warm-workers", 0, "background engine-warmer pool size after lazy recovery (0 = default, negative = off)")
 	flag.IntVar(&cfg.corpusWorkers, "corpus-workers", 0, "worker pool size for the /v1/corpus fan-out endpoints (0 = max(2, GOMAXPROCS))")
 	flag.DurationVar(&cfg.corpusPolicyTimeout, "corpus-policy-timeout", 0, "per-policy deadline inside a corpus query (0 = 5s, negative = off)")
+	flag.StringVar(&cfg.follow, "follow", "", "primary base URL to replicate from; this process becomes a read-only follower (requires -data)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "quagmired ", log.LstdFlags)
@@ -87,6 +98,7 @@ type serveConfig struct {
 	warmWorkers               int
 	corpusWorkers             int
 	corpusPolicyTimeout       time.Duration
+	follow                    string
 }
 
 func run(cfg serveConfig, logger *log.Logger) error {
@@ -96,8 +108,33 @@ func run(cfg serveConfig, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
-	var policyStore store.PolicyStore
-	if cfg.dataDir != "" {
+	var (
+		policyStore store.PolicyStore
+		follower    *replica.Follower
+		replicaOpts *server.ReplicaOptions
+	)
+	switch {
+	case cfg.follow != "":
+		if cfg.dataDir == "" {
+			return fmt.Errorf("-follow requires -data (the follower keeps a durable local copy)")
+		}
+		follower, err = replica.New(replica.Options{
+			Primary: strings.TrimRight(cfg.follow, "/"),
+			Dir:     cfg.dataDir,
+			Store:   store.Options{Logger: logger, Obs: pipeline.Obs()},
+			Logger:  logger,
+		})
+		if err != nil {
+			return fmt.Errorf("open replica store: %w", err)
+		}
+		policyStore = follower
+		replicaOpts = &server.ReplicaOptions{Primary: follower.Status().Primary, Status: follower.StatusAny}
+		defer func() {
+			if err := follower.Close(); err != nil {
+				logger.Printf("replica close: %v", err)
+			}
+		}()
+	case cfg.dataDir != "":
 		disk, err := store.OpenDisk(cfg.dataDir, store.Options{Logger: logger, Obs: pipeline.Obs()})
 		if err != nil {
 			return fmt.Errorf("open policy store: %w", err)
@@ -134,6 +171,7 @@ func run(cfg serveConfig, logger *log.Logger) error {
 			Workers:       cfg.corpusWorkers,
 			PolicyTimeout: cfg.corpusPolicyTimeout,
 		},
+		Replica: replicaOpts,
 	})
 	if err != nil {
 		return err
@@ -141,6 +179,12 @@ func run(cfg serveConfig, logger *log.Logger) error {
 	// Stop the background warmer before the store closes (deferred above
 	// runs last), whether we exit through drain or a listener error.
 	defer srv.Close()
+	if follower != nil {
+		// Tail only once the server exists: each applied record installs its
+		// live engine cell, and a re-bootstrap reloads the whole live map.
+		follower.Start(replica.Hooks{OnApply: srv.ApplyReplicated, OnReload: srv.ReloadReplicated})
+		logger.Printf("following %s from seq %d", cfg.follow, follower.Seq())
+	}
 
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,

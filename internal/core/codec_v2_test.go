@@ -150,6 +150,107 @@ func TestCodecV1StillDecodes(t *testing.T) {
 	}
 }
 
+// TestCodecV2RestoresWithoutSharedCore pins the per-policy restore path:
+// a default pipeline (per-query subgraph solving, no shared core) decodes
+// a v2 payload into an engine with identical verdicts and never touches
+// the shared-core restore/build machinery — whether the payload carries a
+// core image or not. This is the path every follower and every default
+// primary takes for each replicated record.
+func TestCodecV2RestoresWithoutSharedCore(t *testing.T) {
+	ctx := context.Background()
+	defaultPipeline := func() *Pipeline {
+		p, err := New(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Two payload provenances: one encoded without a core image (default
+	// pipeline) and one with (shared-core pipeline). A default decoder
+	// must serve both.
+	encode := func(p *Pipeline) []byte {
+		a, err := p.Analyze(ctx, corpus.Mini())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeAnalysis(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	for name, data := range map[string][]byte{
+		"coreless payload":    encode(defaultPipeline()),
+		"shared-core payload": encode(sharedPipeline(t)),
+	} {
+		p := defaultPipeline()
+		loaded, err := p.DecodeAnalysis(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if loaded.Engine == nil {
+			t.Fatalf("%s: decoded analysis has no engine", name)
+		}
+		for q, want := range map[string]query.Verdict{
+			"Does Acme sell my personal information?":                     query.Invalid,
+			"Does Acme share my email address with advertising partners?": query.Valid,
+		} {
+			res, err := loaded.Engine.Ask(ctx, q)
+			if err != nil {
+				t.Fatalf("%s: %q: %v", name, q, err)
+			}
+			if res.Verdict != want {
+				t.Errorf("%s: %q verdict = %s, want %s", name, q, res.Verdict, want)
+			}
+		}
+		obs := p.Obs()
+		for _, counter := range []string{
+			"quagmire_ground_core_restores_total",
+			"quagmire_ground_core_builds_total",
+			"quagmire_ground_core_restore_failures_total",
+		} {
+			if v := obs.Counter(counter).Value(); v != 0 {
+				t.Errorf("%s: %s = %d, want 0 (no shared core in play)", name, counter, v)
+			}
+		}
+	}
+}
+
+// TestCorruptPayloadsErrorNotPanic: hostile or damaged payload bytes must
+// surface as decode errors — the signal the serving layer quarantines
+// on — never as a panic or a half-built analysis.
+func TestCorruptPayloadsErrorNotPanic(t *testing.T) {
+	p := sharedPipeline(t)
+	a, err := p.Analyze(context.Background(), corpus.Mini())
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := EncodeAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"not json":         []byte("\xff\xfe:definitely-not-json"),
+		"wrong shape":      []byte(`[1,2,3]`),
+		"truncated":        valid[:len(valid)/2],
+		"future codec":     []byte(`{"codec":99}`),
+		"zero codec":       []byte(`{"codec":0}`),
+		"missing sections": []byte(`{"codec":2}`),
+	}
+	for name, data := range cases {
+		if _, err := p.DecodeAnalysis(data); err == nil {
+			t.Errorf("%s: decode accepted a corrupt payload", name)
+		}
+		if _, err := DecodeAnalysisEnvelope(data); err == nil {
+			t.Errorf("%s: envelope decode accepted a corrupt payload", name)
+		}
+		if _, err := DecodeExtraction(data); err == nil {
+			t.Errorf("%s: extraction decode accepted a corrupt payload", name)
+		}
+	}
+}
+
 // TestCorruptCoreImageFallsBack: a tampered core image must not fail the
 // decode or the query — the engine detects the corruption at first use
 // and falls back to the full build.

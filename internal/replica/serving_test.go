@@ -1,0 +1,168 @@
+package replica
+
+// Serving-level follower test: a quagmired follower wired exactly like
+// cmd/quagmired wires it (shared obs registry, server hooks) must serve
+// the read surface, refuse writes with a primary pointer, and expose
+// replication health and metrics.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/privacy-quagmire/quagmire/internal/server"
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+func TestFollowerServesReadSurface(t *testing.T) {
+	payloads := encodedPayloads(t)
+	pri := startPrimary(t, t.TempDir(), 0)
+	t.Cleanup(func() { pri.crash() })
+	mkv := func(i int) store.Version {
+		return store.Version{
+			VersionMeta: store.VersionMeta{Company: "Acme", Stats: store.VersionStats{Nodes: 3 + i}},
+			Payload:     payloads[i%len(payloads)],
+		}
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		p, err := pri.disk.Create("pol", mkv(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+
+	// Wire the follower the way cmd/quagmired does: one pipeline shared
+	// between the replica store (metrics) and the server, server created
+	// over the follower facade, then Start with the server's hooks.
+	pipeline := newPipeline(t)
+	fol, err := New(Options{
+		Primary:    pri.http.URL,
+		Dir:        t.TempDir(),
+		Store:      store.Options{Obs: pipeline.Obs()},
+		BackoffMin: 2 * time.Millisecond,
+		BackoffMax: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fol.Close() })
+	fsrv, err := server.New(server.Options{
+		Pipeline: pipeline,
+		Store:    fol,
+		Replica:  &server.ReplicaOptions{Primary: pri.http.URL, Status: fol.StatusAny},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol.Start(Hooks{OnApply: fsrv.ApplyReplicated, OnReload: fsrv.ReloadReplicated})
+	fts := httptest.NewServer(fsrv.Handler())
+	t.Cleanup(func() { fts.CloseClientConnections(); fts.Close(); fsrv.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fol.WaitFor(ctx, pri.disk.Seq()); err != nil {
+		t.Fatalf("follower never caught up: %v", err)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := fts.Client().Get(fts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// The read surface serves replicated policies.
+	if code, body := get("/v1/policies"); code != http.StatusOK || !strings.Contains(body, ids[0]) {
+		t.Fatalf("follower listing: code %d body %s", code, body)
+	}
+	if code, _ := get("/v1/policies/" + ids[1]); code != http.StatusOK {
+		t.Errorf("follower get policy: code %d", code)
+	}
+	resp, err := fts.Client().Post(fts.URL+"/v1/policies/"+ids[0]+"/query",
+		"application/json", strings.NewReader(`{"question":"Does Acme sell my personal information?"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "verdict") {
+		t.Errorf("follower query: code %d body %s", resp.StatusCode, body)
+	}
+
+	// Writes are refused with 403 and a pointer at the primary.
+	for _, req := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/policies"},
+		{http.MethodPut, "/v1/policies/" + ids[0]},
+	} {
+		hr, err := http.NewRequest(req.method, fts.URL+req.path, strings.NewReader(`{"name":"x","text":"y"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		resp, err := fts.Client().Do(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("%s %s on follower: code %d, want 403", req.method, req.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Quagmire-Primary"); got != pri.http.URL {
+			t.Errorf("%s %s X-Quagmire-Primary = %q, want %q", req.method, req.path, got, pri.http.URL)
+		}
+	}
+
+	// /healthz carries the replica section with zero lag.
+	code, healthBody := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: code %d body %s", code, healthBody)
+	}
+	var health struct {
+		Replica *Status `json:"replica"`
+	}
+	if err := json.Unmarshal([]byte(healthBody), &health); err != nil {
+		t.Fatalf("healthz decode: %v (%s)", err, healthBody)
+	}
+	if health.Replica == nil {
+		t.Fatalf("healthz has no replica section: %s", healthBody)
+	}
+	if health.Replica.Primary != pri.http.URL || health.Replica.LagSeq != 0 {
+		t.Errorf("replica health = %+v, want primary %s with lag 0", health.Replica, pri.http.URL)
+	}
+	// A caught-up idle follower holds the WAL stream open — the primary
+	// flushes headers before the first record, so connected turns true
+	// shortly after the tail loop's request lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for !fol.Status().Connected {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reported connected; status %+v", fol.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The replication gauges surface on the follower's own /metrics.
+	code, metrics := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: code %d", code)
+	}
+	for _, want := range []string{
+		"quagmire_replica_lag_seq 0",
+		"quagmire_replica_applied_seq 3",
+		"quagmire_replica_records_applied_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -114,6 +114,14 @@ func newLazyCell(id string, version int, stats store.VersionStats) *engineCell {
 	return &engineCell{id: id, version: version, stats: stats, recovered: true}
 }
 
+// newStatsCell indexes a stored version without touching its payload and
+// without recovery accounting: replication installs these continuously as
+// records apply, so they must not count toward the warm-pending gauge the
+// boot-time warmer drains (see replicate.go).
+func newStatsCell(id string, version int, stats store.VersionStats) *engineCell {
+	return &engineCell{id: id, version: version, stats: stats}
+}
+
 // get returns the cell's analysis, building it on first call: the payload
 // is fetched from the store, decoded, and an engine attached. Concurrent
 // first callers block on the same build and all see its one outcome. A

@@ -15,11 +15,31 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/privacy-quagmire/quagmire/internal/core"
 	"github.com/privacy-quagmire/quagmire/internal/store"
 )
+
+// syncBuffer is a logger sink safe to read while the server's background
+// goroutines (the engine warmer) are still logging.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // diskServer opens dir with a fresh pipeline + disk store and serves it.
 // The store is intentionally NOT closed on cleanup — abandoning it models
@@ -142,7 +162,7 @@ func TestServerRestartSurvivesCorruptWALTail(t *testing.T) {
 	}
 	f.Close()
 
-	var logBuf bytes.Buffer
+	var logBuf syncBuffer
 	ts2 := diskServer(t, dir, log.New(&logBuf, "", 0))
 	if !strings.Contains(logBuf.String(), "corrupt wal record") {
 		t.Errorf("no corruption warning logged; log:\n%s", logBuf.String())

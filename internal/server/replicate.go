@@ -1,0 +1,243 @@
+package server
+
+// Replication endpoints and follower mode.
+//
+// A disk-backed primary exposes its store's replication surface over
+// HTTP: GET /v1/replicate/snapshot streams an indexed v2 snapshot (the
+// follower writes it straight into its data directory), and GET
+// /v1/replicate/wal?from=SEQ streams every durable WAL record past the
+// follower's applied watermark in the CRC-framed WAL wire format, then
+// long-polls — the connection parks on the store's sequence watch and
+// flushes new records as they commit, so a caught-up follower sees
+// sub-second lag without polling. A follower that asks for records below
+// the primary's compaction horizon gets 410 Gone and must re-bootstrap
+// from a fresh snapshot.
+//
+// A server constructed with Options.Replica serves the full read surface
+// off the replicated store but refuses writes with 403 plus an
+// X-Quagmire-Primary pointer, and reports replication status in /healthz.
+// The replica client (internal/replica) feeds applied records back
+// through ApplyReplicated so live engine cells track replicated state.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/privacy-quagmire/quagmire/internal/store"
+)
+
+// headerSeq carries the primary's sequence watermark on replication
+// responses; headerPrimary points a rejected writer at the primary.
+const (
+	headerSeq     = "X-Quagmire-Seq"
+	headerPrimary = "X-Quagmire-Primary"
+)
+
+// walStreamBatch bounds how many records one ReplayFrom pass collects
+// before the store lock is released and the batch is flushed to the
+// network — a slow follower connection must never stall primary writes
+// for the duration of a full WAL read.
+const walStreamBatch = 256
+
+// ReplicaOptions marks the server as a read-only follower.
+type ReplicaOptions struct {
+	// Primary is the primary's base URL, returned to rejected writers in
+	// the X-Quagmire-Primary header.
+	Primary string
+	// Status, when non-nil, is rendered into /healthz as the "replica"
+	// section (the replica client's lag/connection report).
+	Status func() any
+}
+
+// handleReplicateSnapshot streams a bootstrap snapshot. The watermark
+// header is written inside the store's read lock, before the first body
+// byte, so header and stream always agree.
+func (s *Server) handleReplicateSnapshot(rep store.Replicator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_, err := rep.SnapshotTo(w, func(seq uint64) {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set(headerSeq, strconv.FormatUint(seq, 10))
+		})
+		if err != nil {
+			// Headers may be gone already; if not, surface the error properly.
+			s.pipeline.Obs().Counter("quagmire_replicate_snapshot_errors_total").Inc()
+			if rec, ok := w.(*statusRecorder); !ok || !rec.wrote {
+				writeError(w, http.StatusInternalServerError, "snapshot stream failed: %v", err)
+				return
+			}
+			if s.logger != nil {
+				s.logger.Printf("replicate: snapshot stream aborted: %v", err)
+			}
+			return
+		}
+		s.pipeline.Obs().Counter("quagmire_replicate_snapshots_total").Inc()
+	}
+}
+
+// handleReplicateWAL streams WAL records with seq > from, then long-polls
+// for more until the client disconnects or the store closes. Records are
+// collected in bounded batches under the store lock and framed onto the
+// wire outside it.
+func (s *Server) handleReplicateWAL(rep store.Replicator) http.HandlerFunc {
+	errBatchFull := errors.New("batch full")
+	return func(w http.ResponseWriter, r *http.Request) {
+		from := uint64(0)
+		if raw := r.URL.Query().Get("from"); raw != "" {
+			n, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "invalid from %q (want a sequence number)", raw)
+				return
+			}
+			from = n
+		}
+		reg := s.pipeline.Obs()
+		reg.Counter("quagmire_replicate_wal_streams_total").Inc()
+		rc := http.NewResponseController(w)
+		started := false
+		start := func() {
+			if !started {
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set(headerSeq, strconv.FormatUint(rep.Seq(), 10))
+				w.WriteHeader(http.StatusOK)
+				started = true
+			}
+		}
+		batch := make([]store.Record, 0, walStreamBatch)
+		for {
+			batch = batch[:0]
+			err := rep.ReplayFrom(from, func(rec store.Record) error {
+				batch = append(batch, rec)
+				if len(batch) >= walStreamBatch {
+					return errBatchFull
+				}
+				return nil
+			})
+			full := errors.Is(err, errBatchFull)
+			if err != nil && !full {
+				switch {
+				case errors.Is(err, store.ErrCompacted):
+					if started {
+						return // mid-stream compaction: end; the reconnect sees the 410
+					}
+					w.Header().Set(headerSeq, strconv.FormatUint(rep.Seq(), 10))
+					writeError(w, http.StatusGone,
+						"records after seq %d were compacted away; re-bootstrap from /v1/replicate/snapshot", from)
+				case errors.Is(err, store.ErrClosed):
+					if !started {
+						writeError(w, http.StatusServiceUnavailable, "store closed")
+					}
+				default:
+					reg.Counter("quagmire_replicate_wal_errors_total").Inc()
+					if started {
+						if s.logger != nil {
+							s.logger.Printf("replicate: wal stream aborted: %v", err)
+						}
+						return
+					}
+					writeError(w, http.StatusInternalServerError, "wal replay failed: %v", err)
+				}
+				return
+			}
+			start()
+			for _, rec := range batch {
+				if werr := store.WriteRecord(w, rec); werr != nil {
+					return // client gone; it will reconnect from its watermark
+				}
+				from = rec.Seq
+			}
+			if len(batch) > 0 {
+				reg.Counter("quagmire_replicate_wal_records_total").Add(uint64(len(batch)))
+			}
+			// Flush even an empty first pass: a caught-up follower must see
+			// the response headers immediately (it reports the open stream as
+			// its "connected" state), not when the next record happens to
+			// commit.
+			_ = rc.Flush()
+			if full {
+				continue // more records already durable; skip the wait
+			}
+			if _, werr := rep.WaitSeq(r.Context(), from); werr != nil {
+				return // client disconnected or store closed
+			}
+		}
+	}
+}
+
+// writeGuard rejects mutation endpoints on a follower with 403 and the
+// primary pointer. On a primary it is the identity.
+func (s *Server) writeGuard(next http.HandlerFunc) http.HandlerFunc {
+	if s.replica == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(headerPrimary, s.replica.Primary)
+		writeError(w, http.StatusForbidden,
+			"read-only replica: send writes to the primary at %s", s.replica.Primary)
+	}
+}
+
+// dropCellAccounting unwinds the gauges a replaced cell contributed to:
+// a quarantined cell leaves the quarantine gauge, an unbuilt recovered
+// cell leaves the warm-pending gauge. Called when replication replaces or
+// discards live cells outside the create/update paths.
+func (s *Server) dropCellAccounting(c *engineCell) {
+	c.mu.Lock()
+	quarantined := c.built && c.err != nil && !c.transient
+	pending := c.recovered && !c.built
+	c.mu.Unlock()
+	reg := s.pipeline.Obs()
+	if quarantined {
+		reg.Gauge(metricQuarantined).Add(-1)
+	}
+	if pending {
+		reg.Gauge(metricWarmPending).Add(-1)
+	}
+}
+
+// ApplyReplicated installs the live engine cell for one replicated record:
+// the policy's latest version becomes a lazy cell over the already-durable
+// store state, so the first read decodes the replicated payload through
+// the exact state machine local recovery uses. The replica client calls
+// this after every ApplyRecord.
+func (s *Server) ApplyReplicated(rec store.Record) {
+	cell := newStatsCell(rec.ID, rec.Version.N, rec.Version.Stats)
+	s.mu.Lock()
+	old := s.live[rec.ID]
+	s.live[rec.ID] = cell
+	s.mu.Unlock()
+	if old != nil {
+		s.dropCellAccounting(old)
+	}
+}
+
+// ReloadReplicated rebuilds the whole live map from the store — the
+// follower calls it after a snapshot re-bootstrap replaced store state
+// wholesale (the incremental ApplyReplicated path covers everything
+// else). Engine cells rebuild lazily on first read, same as recovery.
+func (s *Server) ReloadReplicated() error {
+	pols, err := s.store.List()
+	if err != nil {
+		return fmt.Errorf("server: reload replicated: %w", err)
+	}
+	fresh := make(map[string]*engineCell, len(pols))
+	for _, p := range pols {
+		metas, err := s.store.Versions(p.ID)
+		if err != nil || len(metas) == 0 {
+			return fmt.Errorf("server: reload replicated %s: %w", p.ID, err)
+		}
+		fresh[p.ID] = newStatsCell(p.ID, p.Versions, metas[len(metas)-1].Stats)
+	}
+	s.mu.Lock()
+	old := s.live
+	s.live = fresh
+	s.mu.Unlock()
+	for _, c := range old {
+		s.dropCellAccounting(c)
+	}
+	if s.logger != nil {
+		s.logger.Printf("server: reloaded %d policies from re-bootstrapped store", len(fresh))
+	}
+	return nil
+}

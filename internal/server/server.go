@@ -52,6 +52,11 @@ type Server struct {
 	timeouts Timeouts
 	corpus   CorpusConfig
 
+	// replica, when non-nil, marks this server a read-only follower:
+	// writes 403 with a pointer at the primary, /healthz gains the
+	// replication status section (replicate.go).
+	replica *ReplicaOptions
+
 	// sem limits in-flight requests across all routes when non-nil
 	// (excess gets 503); adm admission-controls solver-backed endpoints
 	// specifically (queue, then 429).
@@ -111,6 +116,9 @@ type Options struct {
 	// Corpus bounds the cross-policy fan-out endpoints (corpus.go); zero
 	// fields select defaults.
 	Corpus CorpusConfig
+	// Replica marks this server a read-only follower serving replicated
+	// state (replicate.go); nil is a normal writable primary.
+	Replica *ReplicaOptions
 }
 
 // New constructs a server. When the store already holds policies (a
@@ -135,6 +143,7 @@ func New(opts Options) (*Server, error) {
 		store:    st,
 		timeouts: opts.Timeouts.withDefaults(),
 		corpus:   opts.Corpus.withDefaults(),
+		replica:  opts.Replica,
 		adm:      newAdmission(opts.Admission, opts.Pipeline.Obs()),
 		live:     map[string]*engineCell{},
 		versions: newVersionEngines(versionEngineCacheSize),
@@ -237,10 +246,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", s.readClass(s.handleHealth))
-	mux.HandleFunc("POST /v1/policies", s.analyzeClass(s.handleCreatePolicy))
+	// Replication endpoints mount only when the store can ship state, and
+	// stay bare like the observability routes: the WAL tail is a long-lived
+	// stream a read deadline would sever, and a follower must be able to
+	// catch up from a primary saturated with the very load it is there to
+	// absorb (limiterExempt covers the prefix).
+	if rep, ok := s.store.(store.Replicator); ok {
+		mux.HandleFunc("GET /v1/replicate/snapshot", s.handleReplicateSnapshot(rep))
+		mux.HandleFunc("GET /v1/replicate/wal", s.handleReplicateWAL(rep))
+	}
+	mux.HandleFunc("POST /v1/policies", s.analyzeClass(s.writeGuard(s.handleCreatePolicy)))
 	mux.HandleFunc("GET /v1/policies", s.readClass(s.handleListPolicies))
 	mux.HandleFunc("GET /v1/policies/{id}", s.readClass(s.handleGetPolicy))
-	mux.HandleFunc("PUT /v1/policies/{id}", s.analyzeClass(s.handleUpdatePolicy))
+	mux.HandleFunc("PUT /v1/policies/{id}", s.analyzeClass(s.writeGuard(s.handleUpdatePolicy)))
 	mux.HandleFunc("GET /v1/policies/{id}/versions", s.readClass(s.handleVersions))
 	mux.HandleFunc("GET /v1/policies/{id}/versions/{n}", s.readClass(s.handleVersion))
 	mux.HandleFunc("GET /v1/policies/{id}/diff", s.readClass(s.handleDiff))
@@ -263,7 +281,8 @@ func (s *Server) Handler() http.Handler {
 // saturated server, or the overload would blind the operator and make the
 // load balancer drain instances for the wrong reason.
 func limiterExempt(path string) bool {
-	return path == "/healthz" || path == "/metrics" || strings.HasPrefix(path, "/debug/")
+	return path == "/healthz" || path == "/metrics" ||
+		strings.HasPrefix(path, "/debug/") || strings.HasPrefix(path, "/v1/replicate/")
 }
 
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
@@ -407,12 +426,18 @@ type healthResponse struct {
 	Policies    int          `json:"policies"`
 	Quarantined int          `json:"quarantined,omitempty"`
 	Store       store.Health `json:"store"`
+	// Replica reports replication status (lag, connection state) on a
+	// follower; absent on a primary.
+	Replica any `json:"replica,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := s.store.Health()
 	q := int(s.pipeline.Obs().Gauge(metricQuarantined).Value())
 	resp := healthResponse{Status: "ok", Policies: h.Policies, Quarantined: q, Store: h}
+	if s.replica != nil && s.replica.Status != nil {
+		resp.Replica = s.replica.Status()
+	}
 	code := http.StatusOK
 	switch {
 	case !h.OK():

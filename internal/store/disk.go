@@ -64,6 +64,10 @@ type Disk struct {
 	// seq is the sequence number of the last durable WAL record (or the
 	// snapshot watermark right after recovery/compaction).
 	seq uint64
+	// seqWatch is closed and replaced whenever seq advances; WaitSeq parks
+	// on it so WAL-tail streams long-poll instead of spinning. Close wakes
+	// all waiters by closing the final channel.
+	seqWatch chan struct{}
 	// snapFile is the open v2 snapshot lazy payload loads ReadAt from;
 	// nil when the store was booted fresh or from a legacy v1 snapshot
 	// (whose payloads are held inline until the next compaction).
@@ -90,11 +94,12 @@ func OpenDisk(dir string, opts Options) (*Disk, error) {
 		return nil, fmt.Errorf("store: open %q: %w", dir, err)
 	}
 	d := &Disk{
-		opts:    opts,
-		dir:     dir,
-		walPath: filepath.Join(dir, "wal.log"),
-		snap:    snap,
-		c:       newCore(),
+		opts:     opts,
+		dir:      dir,
+		walPath:  filepath.Join(dir, "wal.log"),
+		snap:     snap,
+		c:        newCore(),
+		seqWatch: make(chan struct{}),
 	}
 	if err := d.recover(); err != nil {
 		return nil, err
@@ -293,6 +298,11 @@ func (d *Disk) logBatch(ops []walOp) error {
 	d.lastErr = nil
 	d.seq += uint64(len(ops))
 	d.walBytes += written
+	// Wake WAL-tail watchers: the records are durable and applied-or-about-
+	// to-be under the same lock hold, so a woken replication stream reads a
+	// consistent tail.
+	close(d.seqWatch)
+	d.seqWatch = make(chan struct{})
 	return nil
 }
 
@@ -581,6 +591,10 @@ func (d *Disk) Close() error {
 		return nil
 	}
 	d.closed = true
+	// Wake every WaitSeq parked on the tail so replication streams end
+	// promptly instead of hanging on a closed store.
+	close(d.seqWatch)
+	d.seqWatch = make(chan struct{})
 	snapErr := d.compactLocked()
 	closeErr := d.wal.Close()
 	var sfErr error

@@ -1,11 +1,13 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"time"
 )
 
@@ -20,6 +22,24 @@ import (
 // snapshot watermark: those records were compacted away, and the caller
 // must bootstrap from a snapshot instead.
 var ErrCompacted = errors.New("store: records compacted away")
+
+// ErrReplicationGap reports a replicated record whose sequence number does
+// not extend the follower's durable state by exactly one: applying it
+// would silently skip acknowledged primary writes, so the follower must
+// resync (re-tail from its watermark, or re-bootstrap) instead.
+var ErrReplicationGap = errors.New("store: replication gap")
+
+// Replicator is the primary-side replication surface a PolicyStore may
+// offer: a seq-watermarked snapshot stream for follower bootstrap, ordered
+// WAL-tail replay for catch-up, and a blocking watch for tailing. The disk
+// backend implements it; the HTTP layer exposes it under /v1/replicate
+// whenever the serving store does.
+type Replicator interface {
+	SnapshotTo(w io.Writer, started func(seq uint64)) (uint64, error)
+	ReplayFrom(seq uint64, fn func(Record) error) error
+	WaitSeq(ctx context.Context, after uint64) (uint64, error)
+	Seq() uint64
+}
 
 // Record is one seq-numbered store mutation — the unit of both WAL
 // framing and replication shipping.
@@ -45,14 +65,20 @@ type Record struct {
 // SnapshotTo streams an indexed v2 snapshot of the store's current state
 // to w and returns the sequence watermark it was taken at. The stream is
 // byte-compatible with the on-disk snapshot.v2 file, so a follower can
-// write it to its own data directory and OpenDisk from it. Concurrent
-// reads proceed; writes block for the duration.
-func (d *Disk) SnapshotTo(w io.Writer) (uint64, error) {
+// write it to its own data directory and OpenDisk from it. started, when
+// non-nil, is invoked with the watermark before the first byte is written
+// — the HTTP handler uses it to emit the watermark as a response header,
+// which must precede the body. Concurrent reads proceed; writes block for
+// the duration.
+func (d *Disk) SnapshotTo(w io.Writer, started func(seq uint64)) (uint64, error) {
 	defer d.opts.observe("snapshot_to", time.Now())
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.closed {
 		return 0, ErrClosed
+	}
+	if started != nil {
+		started(d.seq)
 	}
 	hdr := snapHeader{Codec: snapshotCodecV2, Seq: d.seq, NextID: d.c.nextID}
 	if _, err := writeSnapshotV2(w, hdr, d.sortedStatesLocked(), d.loadPayloadLocked); err != nil {
@@ -122,4 +148,131 @@ func (d *Disk) loadPayloadLocked(id string, v *Version) ([]byte, error) {
 		return nil, fmt.Errorf("store: payload %s/v%d referenced but no snapshot open", id, v.N)
 	}
 	return d.snapFile.load(*v.ref)
+}
+
+// Seq returns the sequence number of the last durable mutation — the
+// store's replication watermark. On a follower this is the applied
+// watermark: recovery rebuilds it from the snapshot header plus WAL
+// replay, so it survives crashes without any separate watermark file.
+func (d *Disk) Seq() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.seq
+}
+
+// WaitSeq blocks until the store's sequence number exceeds after, the
+// context is done, or the store closes, and returns the current sequence
+// number. It is the long-poll primitive behind the WAL-tail endpoint: a
+// caught-up follower's stream parks here instead of spinning on replays.
+func (d *Disk) WaitSeq(ctx context.Context, after uint64) (uint64, error) {
+	for {
+		d.mu.RLock()
+		seq, ch, closed := d.seq, d.seqWatch, d.closed
+		d.mu.RUnlock()
+		switch {
+		case closed:
+			return seq, ErrClosed
+		case seq > after:
+			return seq, nil
+		}
+		select {
+		case <-ctx.Done():
+			return seq, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// ApplyRecord applies one replicated primary record to a follower store:
+// the record is logged to the follower's own WAL with the primary's
+// sequence number preserved (log-before-apply, same as local writes), then
+// applied through the shared state machine. Preserving primary seqs is
+// what makes the applied watermark durable for free — recovery computes it
+// the same way it computes the local one — and makes follower state
+// byte-comparable to the primary's.
+//
+// Delivery is at-least-once: a record at or below the current watermark is
+// a duplicate from a reconnect replay and is skipped. A record that skips
+// ahead fails with ErrReplicationGap — applying it would hide acknowledged
+// primary writes — and the caller must resync.
+func (d *Disk) ApplyRecord(rec Record) error {
+	defer d.opts.observe("apply_record", time.Now())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if rec.Seq <= d.seq {
+		return nil // duplicate delivery after a reconnect
+	}
+	if rec.Seq != d.seq+1 {
+		return fmt.Errorf("%w: follower at seq %d, record is %d", ErrReplicationGap, d.seq, rec.Seq)
+	}
+	// logBatch assigns d.seq+1 to a single-record batch — exactly rec.Seq,
+	// validated above — so the primary's numbering is preserved verbatim.
+	if err := d.logBatch([]walOp{rec}); err != nil {
+		return err
+	}
+	if err := d.applyOp(rec); err != nil {
+		return err
+	}
+	d.maybeCompact()
+	return nil
+}
+
+// InstallSnapshot writes a snapshot stream (as produced by SnapshotTo)
+// into dir as its indexed v2 snapshot and returns the stream's watermark.
+// The bytes are staged to a temp file, validated end to end (magic,
+// header, index, every CRC boundary), fsynced, and renamed into place —
+// a truncated or corrupted transfer can never replace a good snapshot.
+// Any existing WAL is removed: a follower only installs a snapshot when
+// its local state is being superseded wholesale (first bootstrap, or
+// falling behind the primary's compaction horizon), and every record a
+// prior WAL could hold is below the new watermark by construction.
+//
+// The target store must be closed; reopen it with OpenDisk afterwards.
+func InstallSnapshot(dir string, r io.Reader) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("store: install snapshot: %w", err)
+	}
+	path := filepath.Join(dir, snapshotV2Name)
+	tmp := path + ".bootstrap"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: install snapshot: %w", err)
+	}
+	_, werr := io.Copy(f, r)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: install snapshot: %w", werr)
+	}
+	sf, err := openSnapshotV2(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: install snapshot: validate: %w", err)
+	}
+	seq := sf.hdr.Seq
+	if cerr := sf.Close(); cerr != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: install snapshot: %w", cerr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: install snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	// Drop the stale WAL (crash-safe either way: leftover records are all at
+	// or below the new watermark, which replay skips).
+	if err := os.Remove(filepath.Join(dir, "wal.log")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return 0, fmt.Errorf("store: install snapshot: remove stale wal: %w", err)
+	}
+	return seq, nil
 }

@@ -1,0 +1,77 @@
+package store
+
+// Replication stream framing: the wire format the primary ships WAL
+// records in and the follower reads them back out of. It is byte-identical
+// to the on-disk WAL framing ([uint32 length][uint32 CRC32-C][JSON
+// payload], little-endian), so the stream inherits the same torn-tail
+// detection the recovery path has: a frame is either fully present with a
+// matching checksum or it is rejected, and a record cut mid-flight by a
+// dropped connection can never be half-applied.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrBadFrame reports a replication-stream frame that cannot be trusted:
+// a partial header or payload, an implausible length, a checksum mismatch,
+// or an undecodable record. The follower treats it exactly like a dropped
+// connection — discard the frame, keep the applied watermark where it is,
+// and reconnect — so a fault injected mid-record loses bytes, never
+// integrity.
+var ErrBadFrame = errors.New("store: bad replication frame")
+
+// WriteRecord frames one record onto w using the WAL wire format.
+func WriteRecord(w io.Writer, rec Record) error {
+	_, err := appendWALRecord(w, rec)
+	return err
+}
+
+// RecordReader decodes a replication stream frame by frame. It performs no
+// internal buffering beyond the current frame, so a caller that applies
+// each record as it arrives holds at most one record in memory.
+type RecordReader struct {
+	r io.Reader
+}
+
+// NewRecordReader wraps a replication stream (typically an HTTP response
+// body) for frame-at-a-time decoding.
+func NewRecordReader(r io.Reader) *RecordReader { return &RecordReader{r: r} }
+
+// Next returns the next intact record. io.EOF marks a clean end of stream
+// (the frame boundary coincided with the connection close); every framing
+// violation — including a connection cut mid-frame — is reported as an
+// error wrapping ErrBadFrame, and no partial record is ever returned.
+func (rr *RecordReader) Next() (Record, error) {
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, fmt.Errorf("%w: partial header", ErrBadFrame)
+		}
+		return Record{}, fmt.Errorf("%w: read header: %v", ErrBadFrame, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxWALRecord {
+		return Record{}, fmt.Errorf("%w: implausible record length %d", ErrBadFrame, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(rr.r, payload); err != nil {
+		return Record{}, fmt.Errorf("%w: partial payload", ErrBadFrame)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return Record{}, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, fmt.Errorf("%w: undecodable record", ErrBadFrame)
+	}
+	return rec, nil
+}
